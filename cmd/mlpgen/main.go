@@ -1,0 +1,80 @@
+// Command mlpgen generates a synthetic Twitter-like world with ground
+// truth and writes it to a dataset directory (TSV tables + truth.json),
+// optionally rendering raw tweet texts through the tweet-text pipeline.
+//
+// Usage:
+//
+//	mlpgen -out data/world -users 5000 -locations 800 -seed 42
+//	mlpgen -out data/world -text tweets.txt   # also emit raw tweet text
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"mlprofile/internal/synth"
+	"mlprofile/internal/tweettext"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mlpgen: ")
+
+	var (
+		out       = flag.String("out", "", "output dataset directory (required)")
+		users     = flag.Int("users", 2000, "number of users")
+		locations = flag.Int("locations", 500, "number of candidate locations")
+		seed      = flag.Int64("seed", 1, "generation seed")
+		multiFrac = flag.Float64("multi", 0.35, "fraction of users with multiple locations")
+		edgeNoise = flag.Float64("edge-noise", 0.15, "fraction of noisy following relationships")
+		twNoise   = flag.Float64("tweet-noise", 0.25, "fraction of noisy tweeting relationships")
+		labeled   = flag.Float64("labeled", 1.0, "fraction of users with parseable registered locations")
+		textOut   = flag.String("text", "", "optional file for rendered raw tweet texts")
+	)
+	flag.Parse()
+	if *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	d, err := synth.Generate(synth.Config{
+		Seed:               *seed,
+		NumUsers:           *users,
+		NumLocations:       *locations,
+		MultiLocFraction:   *multiFrac,
+		EdgeNoise:          *edgeNoise,
+		TweetNoise:         *twNoise,
+		RegisteredFraction: *labeled,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := d.Save(*out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s: %s\n", *out, d.Corpus.Stats())
+
+	if *textOut != "" {
+		f, err := os.Create(*textOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w := bufio.NewWriter(f)
+		rng := rand.New(rand.NewSource(*seed + 99))
+		for _, t := range d.Corpus.Tweets {
+			venue := d.Corpus.Venues.Venue(t.Venue).Name
+			fmt.Fprintf(w, "%d\t%s\n", t.User, tweettext.Compose(rng, venue))
+		}
+		if err := w.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s: %d tweet texts\n", *textOut, len(d.Corpus.Tweets))
+	}
+}

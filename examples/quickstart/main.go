@@ -1,0 +1,65 @@
+// Quickstart: generate a small world, fit MLP, and read out profiles.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mlprofile"
+)
+
+func main() {
+	// 1. A synthetic Twitter-like world: 800 users over 250 U.S. cities,
+	// with ground-truth multi-location profiles retained.
+	world, err := mlprofile.GenerateWorld(mlprofile.WorldConfig{
+		Seed: 7, NumUsers: 800, NumLocations: 250,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("world:", world.Corpus.Stats())
+
+	// 2. Hide the labels of 20% of users — the prediction targets.
+	folds := mlprofile.KFold(len(world.Corpus.Users), 5, 11)
+	test := folds[0]
+	corpus := world.Corpus.WithUsers(world.Corpus.HideLabels(test))
+
+	// 3. Fit MLP on both resources (following network + tweeted venues).
+	model, err := mlprofile.Fit(corpus, mlprofile.ModelConfig{
+		Seed: 1, Iterations: 15, GibbsEM: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	alpha, beta := model.AlphaBeta()
+	fmt.Printf("fitted location-based following model: p(d) = %.4f * d^%.2f\n", beta, alpha)
+
+	// 4. Evaluate home prediction on the held-out users (ACC@100).
+	var he mlprofile.HomeEval
+	for _, u := range test {
+		he.Add(world.Corpus.Gaz.Distance(model.Home(u), world.Truth.Home(u)))
+	}
+	fmt.Printf("ACC@100 over %d held-out users: %.1f%%\n", he.N(), 100*he.ACC(100))
+
+	// 5. Inspect a few inferred profiles.
+	fmt.Println("\nsample profiles (held-out users):")
+	for _, u := range test[:5] {
+		fmt.Printf("  %s (true: %s)\n", corpus.Users[u].Handle, cityNames(world, world.Truth.TrueCities(u)))
+		for _, wl := range model.Profile(u)[:2] {
+			fmt.Printf("      %-22s %.2f\n", world.Corpus.Gaz.City(wl.City).DisplayName(), wl.Weight)
+		}
+	}
+}
+
+func cityNames(world *mlprofile.Dataset, ids []mlprofile.CityID) string {
+	s := ""
+	for i, id := range ids {
+		if i > 0 {
+			s += " / "
+		}
+		s += world.Corpus.Gaz.City(id).DisplayName()
+	}
+	return s
+}

@@ -1,0 +1,109 @@
+// Relationship explanation: MLP reveals the true geo connection behind
+// each following relationship and groups a user's followers into geo
+// groups (Sec. 5.3, Table 5, Fig. 8).
+//
+//	go run ./examples/relationships
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"mlprofile"
+)
+
+func main() {
+	world, err := mlprofile.GenerateWorld(mlprofile.WorldConfig{
+		Seed: 33, NumUsers: 1200, NumLocations: 300,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gaz := world.Corpus.Gaz
+
+	model, err := mlprofile.Fit(&world.Corpus, mlprofile.ModelConfig{
+		Seed: 5, Iterations: 15, GibbsEM: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Compare MLP's explanations against the home-location baseline on
+	// edges whose true assignments share a region.
+	baseline := mlprofile.NewRelBaseline(&world.Corpus, nil)
+	var mlpEval, baseEval mlprofile.RelEval
+	for s := range world.Corpus.Edges {
+		et := world.Truth.EdgeTruths[s]
+		e := world.Corpus.Edges[s]
+		multi := len(world.Truth.Profiles[e.From]) > 1 || len(world.Truth.Profiles[e.To]) > 1
+		if et.Noise || !multi || gaz.Distance(et.X, et.Y) > 100 {
+			continue
+		}
+		if exp, ok := model.MAPExplainEdge(s); ok {
+			mlpEval.Add(gaz.Distance(exp.X, et.X), gaz.Distance(exp.Y, et.Y))
+		}
+		if exp, ok := baseline.Explain(s); ok {
+			baseEval.Add(gaz.Distance(exp.X, et.X), gaz.Distance(exp.Y, et.Y))
+		}
+	}
+	fmt.Printf("relationship explanation over %d labeled edges:\n", mlpEval.N())
+	fmt.Printf("  MLP  ACC@100 = %.1f%%\n", 100*mlpEval.ACC(100))
+	fmt.Printf("  Base ACC@100 = %.1f%%  (home-location baseline)\n\n", 100*baseEval.ACC(100))
+
+	// Geo-group one multi-location user's followers by the assignment MLP
+	// gave each relationship (Carol's "Austin group" from the paper's
+	// introduction).
+	target := pickMultiUserWithFollowers(world)
+	if target < 0 {
+		return
+	}
+	fmt.Printf("geo groups of %s's followers (true locations: %s):\n",
+		world.Corpus.Users[target].Handle, names(gaz, world.Truth.TrueCities(target)))
+	groups := map[mlprofile.CityID][]string{}
+	for s, e := range world.Corpus.Edges {
+		if e.To != target {
+			continue
+		}
+		if exp, ok := model.MAPExplainEdge(s); ok && !exp.Noisy {
+			groups[exp.Y] = append(groups[exp.Y], world.Corpus.Users[e.From].Handle)
+		}
+	}
+	var keys []mlprofile.CityID
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return len(groups[keys[i]]) > len(groups[keys[j]]) })
+	for _, k := range keys {
+		members := groups[k]
+		if len(members) > 6 {
+			members = members[:6]
+		}
+		fmt.Printf("  %-22s %v\n", gaz.City(k).DisplayName(), members)
+	}
+}
+
+func pickMultiUserWithFollowers(world *mlprofile.Dataset) mlprofile.UserID {
+	in := map[mlprofile.UserID]int{}
+	for _, e := range world.Corpus.Edges {
+		in[e.To]++
+	}
+	best, bestN := mlprofile.UserID(-1), 0
+	for _, u := range world.Truth.MultiLocationUsers() {
+		if in[u] > bestN {
+			best, bestN = u, in[u]
+		}
+	}
+	return best
+}
+
+func names(gaz *mlprofile.Gazetteer, ids []mlprofile.CityID) string {
+	s := ""
+	for i, id := range ids {
+		if i > 0 {
+			s += " / "
+		}
+		s += gaz.City(id).DisplayName()
+	}
+	return s
+}

@@ -1,0 +1,147 @@
+package basec
+
+import (
+	"testing"
+
+	"mlprofile/internal/dataset"
+	"mlprofile/internal/gazetteer"
+	"mlprofile/internal/synth"
+)
+
+func world(t testing.TB, seed int64) *dataset.Dataset {
+	t.Helper()
+	d, err := synth.Generate(synth.Config{Seed: seed, NumUsers: 900, NumLocations: 250})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func fitFold(t testing.TB, d *dataset.Dataset, cfg Config) (*Model, []dataset.UserID) {
+	t.Helper()
+	folds := dataset.KFold(len(d.Corpus.Users), 5, 99)
+	test := folds[0]
+	c := d.Corpus.WithUsers(d.Corpus.HideLabels(test))
+	m, err := Fit(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, test
+}
+
+func TestLocalWordSelection(t *testing.T) {
+	d := world(t, 1)
+	m, _ := fitFold(t, d, Config{})
+	words := m.LocalWords()
+	if len(words) < 20 {
+		t.Fatalf("only %d local words selected", len(words))
+	}
+	// Spot-check: a city name with a single sense should be local...
+	localSet := map[string]bool{}
+	for _, w := range words {
+		localSet[w] = true
+	}
+	found := 0
+	for _, w := range []string{"austin", "seattle", "miami", "denver"} {
+		if localSet[w] {
+			found++
+		}
+	}
+	if found < 2 {
+		t.Errorf("expected unambiguous big-city names to be local words, found %d of 4", found)
+	}
+}
+
+func TestFocusFiltersGlobalWords(t *testing.T) {
+	d := world(t, 2)
+	m, _ := fitFold(t, d, Config{})
+	// Some words must measure unfocused (scattered mentions) and get
+	// rejected, while local ones pass.
+	low, high := 0, 0
+	for v := 0; v < d.Corpus.Venues.Len(); v++ {
+		f := m.Focus(gazetteer.VenueID(v))
+		if f == 0 {
+			continue
+		}
+		if f < 0.25 {
+			low++
+		} else {
+			high++
+		}
+	}
+	if low < 5 || high < 5 {
+		t.Errorf("focus filter degenerate: %d unfocused, %d focused", low, high)
+	}
+}
+
+func TestHomePredictionAccuracy(t *testing.T) {
+	d := world(t, 3)
+	m, test := fitFold(t, d, Config{})
+	p := m.NewPredictor()
+	hit := 0
+	for _, u := range test {
+		pred := p.Home(u)
+		if pred != dataset.NoCity && d.Corpus.Gaz.Distance(pred, d.Truth.Home(u)) <= 100 {
+			hit++
+		}
+	}
+	acc := float64(hit) / float64(len(test))
+	t.Logf("BaseC ACC@100 = %.3f", acc)
+	if acc < 0.35 {
+		t.Errorf("BaseC accuracy %.3f too low", acc)
+	}
+}
+
+func TestTopKProperties(t *testing.T) {
+	d := world(t, 4)
+	m, test := fitFold(t, d, Config{})
+	p := m.NewPredictor()
+	for _, u := range test[:40] {
+		top := p.TopK(u, 3)
+		if len(top) == 0 {
+			t.Fatalf("user %d: no predictions", u)
+		}
+		if top[0] != p.Home(u) {
+			t.Fatalf("user %d: TopK head mismatch", u)
+		}
+		seen := map[int32]bool{}
+		for _, l := range top {
+			if seen[int32(l)] {
+				t.Fatalf("user %d: duplicate in TopK", u)
+			}
+			seen[int32(l)] = true
+		}
+	}
+}
+
+func TestFallbackForSilentUsers(t *testing.T) {
+	d := world(t, 5)
+	// Remove all tweets from one test user; prediction falls back.
+	folds := dataset.KFold(len(d.Corpus.Users), 5, 99)
+	test := folds[0]
+	mute := test[0]
+	var tweets []dataset.TweetRel
+	for _, tr := range d.Corpus.Tweets {
+		if tr.User != mute {
+			tweets = append(tweets, tr)
+		}
+	}
+	c := d.Corpus.WithUsers(d.Corpus.HideLabels(test))
+	c.Tweets = tweets
+	m, err := Fit(c, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.NewPredictor()
+	if p.Home(mute) == dataset.NoCity {
+		t.Error("silent user should get the fallback prediction")
+	}
+}
+
+func TestMinCountRespected(t *testing.T) {
+	d := world(t, 6)
+	strict, _ := fitFold(t, d, Config{MinCount: 1000000})
+	if len(strict.LocalWords()) != 0 {
+		t.Errorf("impossible MinCount still selected %d words", len(strict.LocalWords()))
+	}
+}

@@ -1,0 +1,154 @@
+package baseu
+
+import (
+	"testing"
+
+	"mlprofile/internal/dataset"
+	"mlprofile/internal/synth"
+)
+
+func world(t testing.TB, seed int64) *dataset.Dataset {
+	t.Helper()
+	d, err := synth.Generate(synth.Config{Seed: seed, NumUsers: 900, NumLocations: 250})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func fitFold(t testing.TB, d *dataset.Dataset, cfg Config) (*Model, []dataset.UserID) {
+	t.Helper()
+	folds := dataset.KFold(len(d.Corpus.Users), 5, 99)
+	test := folds[0]
+	c := d.Corpus.WithUsers(d.Corpus.HideLabels(test))
+	m, err := Fit(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, test
+}
+
+func TestFitCurveDecays(t *testing.T) {
+	d := world(t, 1)
+	m, _ := fitFold(t, d, Config{Seed: 2})
+	law := m.Law()
+	if law.C >= 0 {
+		t.Errorf("fitted exponent %f should be negative", law.C)
+	}
+	if law.Eval(1) <= law.Eval(1000) {
+		t.Error("edge probability should decay with distance")
+	}
+}
+
+func TestHomePredictionAccuracy(t *testing.T) {
+	d := world(t, 3)
+	m, test := fitFold(t, d, Config{Seed: 2})
+	hit := 0
+	for _, u := range test {
+		pred := m.Home(u)
+		if pred != dataset.NoCity && d.Corpus.Gaz.Distance(pred, d.Truth.Home(u)) <= 100 {
+			hit++
+		}
+	}
+	acc := float64(hit) / float64(len(test))
+	t.Logf("BaseU ACC@100 = %.3f", acc)
+	// The paper's BaseU scores 52% on real Twitter; on our synthetic world
+	// it must land well above chance but below the MLP family.
+	if acc < 0.4 {
+		t.Errorf("BaseU accuracy %.3f too low", acc)
+	}
+}
+
+func TestLabeledUsersUntouched(t *testing.T) {
+	d := world(t, 4)
+	m, test := fitFold(t, d, Config{Seed: 5})
+	testSet := map[dataset.UserID]bool{}
+	for _, u := range test {
+		testSet[u] = true
+	}
+	for _, u := range d.Corpus.Users {
+		if testSet[u.ID] {
+			continue
+		}
+		if m.Home(u.ID) != u.Home {
+			t.Fatalf("labeled user %d reassigned from %d to %d", u.ID, u.Home, m.Home(u.ID))
+		}
+	}
+}
+
+func TestTopKProperties(t *testing.T) {
+	d := world(t, 4)
+	m, test := fitFold(t, d, Config{Seed: 5})
+	for _, u := range test[:40] {
+		top := m.TopK(u, 3)
+		if len(top) == 0 {
+			t.Fatalf("user %d: no predictions", u)
+		}
+		if top[0] != m.Home(u) {
+			t.Fatalf("user %d: TopK head %d != Home %d", u, top[0], m.Home(u))
+		}
+		seen := map[int32]bool{}
+		for _, l := range top {
+			if seen[int32(l)] {
+				t.Fatalf("user %d: duplicate in TopK", u)
+			}
+			seen[int32(l)] = true
+		}
+	}
+	// Labeled users report their observed home.
+	var labeled dataset.UserID = -1
+	testSet := map[dataset.UserID]bool{}
+	for _, u := range test {
+		testSet[u] = true
+	}
+	for _, u := range d.Corpus.Users {
+		if !testSet[u.ID] {
+			labeled = u.ID
+			break
+		}
+	}
+	if top := m.TopK(labeled, 3); len(top) != 1 || top[0] != d.Corpus.Users[labeled].Home {
+		t.Errorf("labeled TopK = %v", top)
+	}
+}
+
+func TestIterationsHelpIsolatedUsers(t *testing.T) {
+	d := world(t, 6)
+	one, test := fitFold(t, d, Config{Seed: 7, Iterations: 1})
+	three, _ := fitFold(t, d, Config{Seed: 7, Iterations: 3})
+	acc := func(m *Model) float64 {
+		hit := 0
+		for _, u := range test {
+			pred := m.Home(u)
+			if pred != dataset.NoCity && d.Corpus.Gaz.Distance(pred, d.Truth.Home(u)) <= 100 {
+				hit++
+			}
+		}
+		return float64(hit) / float64(len(test))
+	}
+	a1, a3 := acc(one), acc(three)
+	t.Logf("1 pass = %.3f, 3 passes = %.3f", a1, a3)
+	if a3 < a1-0.05 {
+		t.Errorf("extra propagation passes should not hurt much: %.3f -> %.3f", a1, a3)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	d := world(t, 8)
+	m1, test := fitFold(t, d, Config{Seed: 9})
+	m2, _ := fitFold(t, d, Config{Seed: 9})
+	for _, u := range test {
+		if m1.Home(u) != m2.Home(u) {
+			t.Fatal("BaseU not deterministic")
+		}
+	}
+}
+
+func TestFitRejectsInvalidCorpus(t *testing.T) {
+	d := world(t, 8)
+	c := d.Corpus
+	c.Edges = append([]dataset.FollowEdge{{From: 0, To: 0}}, c.Edges...)
+	if _, err := Fit(&c, Config{}); err == nil {
+		t.Error("invalid corpus accepted")
+	}
+}

@@ -1,0 +1,190 @@
+// Package core implements MLP, the multiple location profiling model of
+// Li, Wang & Chang (VLDB 2012): a generative model of following and
+// tweeting relationships driven by users' latent multi-location profiles,
+// inferred with collapsed Gibbs sampling (paper Sec. 4, Eqs. 4–10).
+//
+// The three key devices of the paper are all here:
+//
+//   - location-based generation: edges follow a distance power law
+//     β·d^α, tweets follow per-location venue multinomials ψ_l;
+//   - mixture of observations: per-relationship binary selectors (µ, ν)
+//     route each observation to either the location-based model or an
+//     empirical random model (F_R, T_R), absorbing noise;
+//   - partially available supervision: observed home locations enter as
+//     boosted Dirichlet pseudo-counts, and per-user candidacy vectors
+//     restrict profiles to locations observed in the user's own
+//     relationships.
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Variant selects which observation types the model consumes.
+type Variant int
+
+const (
+	// Full is MLP: following and tweeting relationships (the paper's MLP).
+	Full Variant = iota
+	// FollowingOnly is MLP_U: following relationships only.
+	FollowingOnly
+	// TweetingOnly is MLP_C: tweeting relationships only.
+	TweetingOnly
+)
+
+// String names the variant as the paper does.
+func (v Variant) String() string {
+	switch v {
+	case FollowingOnly:
+		return "MLP_U"
+	case TweetingOnly:
+		return "MLP_C"
+	default:
+		return "MLP"
+	}
+}
+
+// Config holds the model hyperparameters Ω and sampler controls. The zero
+// value plus withDefaults reproduces the paper's setup.
+type Config struct {
+	Seed int64
+	// Variant selects MLP / MLP_U / MLP_C.
+	Variant Variant
+
+	// Iterations is the number of Gibbs sweeps (default 20; the paper
+	// observes convergence in ~14).
+	Iterations int
+
+	// RhoF and RhoT are the mixture priors for noisy following/tweeting
+	// relationships (default 0.1 each).
+	RhoF, RhoT float64
+
+	// NoiseBurnIn is the number of initial sweeps during which the noise
+	// mixture is held off (every relationship treated as location-based)
+	// so profiles can form before the selectors start routing weakly
+	// supported relationships to the random models (default 3).
+	NoiseBurnIn int
+
+	// Alpha and Beta parameterize the location-based following model
+	// P(f|x,y) = Beta·d(x,y)^Alpha. Zero values mean "learn from the data
+	// at initialization" — the paper's own procedure (Sec. 4.1 measures
+	// following probabilities over labeled-pair distances and fits the
+	// power law, obtaining −0.55 and 0.0045 on its Twitter crawl). Set
+	// explicit values to skip the initial fit. When GibbsEM is set they
+	// are additionally re-estimated during sampling.
+	Alpha, Beta float64
+
+	// Tau is the candidacy prior value τ (default 0.1; "values of hyper
+	// parameter below 1 prefer sparse distributions").
+	Tau float64
+	// GammaBoost is the diagonal of the boosting matrix Λ times the base
+	// prior: the pseudo-count added to a labeled user's observed home
+	// location (default 25).
+	GammaBoost float64
+	// Delta is the symmetric Dirichlet prior on per-location venue
+	// multinomials ψ_l (default 0.01).
+	Delta float64
+
+	// MaxCandidates caps a user's candidacy vector size (default 40).
+	MaxCandidates int
+	// MaxVenueSenses caps how many senses of an ambiguous venue feed a
+	// user's candidate set (default 5).
+	MaxVenueSenses int
+
+	// GibbsEM enables the outer Gibbs-EM loop re-estimating (Alpha, Beta)
+	// every EMInterval iterations (default interval 5).
+	GibbsEM    bool
+	EMInterval int
+	// EMPairSample is the number of labeled user pairs sampled for the
+	// M-step's denominator histogram (default 200000).
+	EMPairSample int
+
+	// BlockedSampler replaces the paper's per-variable updates with a
+	// blocked joint draw of (µ, x, y) per edge — an ablation of the
+	// inference scheme, not of the model.
+	BlockedSampler bool
+
+	// DisableNoiseMixture forces every relationship location-based
+	// (ρ_f = ρ_t = 0) — the ablation of the paper's first mixture level.
+	DisableNoiseMixture bool
+	// DisableSupervision zeroes GammaBoost — the "floating clusters"
+	// failure mode of Sec. 4.3.
+	DisableSupervision bool
+	// AllLocationCandidates disables candidacy vectors: every location in
+	// L is a candidate for every user (the efficiency ablation; quadratic
+	// in |L|, use only on small worlds).
+	AllLocationCandidates bool
+
+	// OnIteration, when set, is invoked after every Gibbs sweep with the
+	// 1-based iteration number; used to trace convergence (Fig. 5).
+	OnIteration func(iter int, m *Model)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Iterations == 0 {
+		c.Iterations = 20
+	}
+	if c.RhoF == 0 {
+		c.RhoF = 0.1
+	}
+	if c.RhoT == 0 {
+		c.RhoT = 0.1
+	}
+	if c.NoiseBurnIn == 0 {
+		c.NoiseBurnIn = 3
+	}
+	if c.Tau == 0 {
+		c.Tau = 0.1
+	}
+	if c.GammaBoost == 0 {
+		c.GammaBoost = 25
+	}
+	if c.Delta == 0 {
+		c.Delta = 0.01
+	}
+	if c.MaxCandidates == 0 {
+		c.MaxCandidates = 40
+	}
+	if c.MaxVenueSenses == 0 {
+		c.MaxVenueSenses = 5
+	}
+	if c.EMInterval == 0 {
+		c.EMInterval = 5
+	}
+	if c.EMPairSample == 0 {
+		c.EMPairSample = 200000
+	}
+	if c.DisableNoiseMixture {
+		c.RhoF, c.RhoT = 0, 0
+	}
+	if c.DisableSupervision {
+		c.GammaBoost = 0
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Iterations < 1 {
+		return errors.New("core: Iterations must be >= 1")
+	}
+	if c.RhoF < 0 || c.RhoF >= 1 || c.RhoT < 0 || c.RhoT >= 1 {
+		return fmt.Errorf("core: noise priors (%f, %f) must lie in [0,1)", c.RhoF, c.RhoT)
+	}
+	if c.Alpha > 0 {
+		return errors.New("core: Alpha must be negative (distance decay) or zero for auto-fit")
+	}
+	if c.Beta < 0 {
+		return errors.New("core: Beta must be positive or zero for auto-fit")
+	}
+	if c.Tau <= 0 || c.Delta <= 0 {
+		return errors.New("core: Tau and Delta must be positive")
+	}
+	if c.GammaBoost < 0 {
+		return errors.New("core: GammaBoost must be non-negative")
+	}
+	if c.MaxCandidates < 1 || c.MaxVenueSenses < 1 {
+		return errors.New("core: candidate caps must be >= 1")
+	}
+	return nil
+}

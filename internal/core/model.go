@@ -1,0 +1,246 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+
+	"mlprofile/internal/dataset"
+	"mlprofile/internal/gazetteer"
+	"mlprofile/internal/powerlaw"
+	"mlprofile/internal/randutil"
+)
+
+// Model is a fitted MLP instance: the sampled latent state plus everything
+// needed to read out profiles (Eq. 10), relationship explanations, and the
+// refined (α, β).
+type Model struct {
+	cfg    Config
+	corpus *dataset.Corpus
+	dc     *distCalc
+	rng    *rand.Rand
+
+	useF, useT bool
+
+	// Candidacy and priors.
+	cands *candidateSet
+
+	// Collapsed profile counts ϕ_i (per user, indexed like cands.cand[u]).
+	phi    [][]float64
+	phiSum []float64
+
+	// Collapsed venue counts φ_{l,v}: venueCount[l][v] accumulates
+	// location-based tweets only (ν = 0).
+	venueCount []map[gazetteer.VenueID]float64
+	venueSum   []float64
+	numVenues  int
+
+	// Edge latent state: selector µ_s and candidate indexes of x_s, y_s.
+	mu     []bool
+	ex, ey []uint16
+
+	// Tweet latent state: selector ν_k and candidate index of z_k.
+	nu []bool
+	tz []uint16
+
+	// Random models.
+	fr float64   // F_R: P(edge) = S/N²
+	tr []float64 // T_R: per-venue empirical tweet probability
+
+	// Power-law parameters (refined by Gibbs-EM when enabled).
+	alpha, beta float64
+
+	iterationsRun int
+	curIter       int // 1-based index of the sweep in progress
+
+	// scratch is reused by the sampler's weight computations to avoid a
+	// per-relationship allocation. The sampler is single-goroutine.
+	scratch []float64
+}
+
+// buf returns a zero-length-agnostic scratch slice of length n.
+func (m *Model) buf(n int) []float64 {
+	if cap(m.scratch) < n {
+		m.scratch = make([]float64, n)
+	}
+	return m.scratch[:n]
+}
+
+// Fit runs MLP inference over the corpus and returns the fitted model.
+func Fit(c *dataset.Corpus, cfg Config) (*Model, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Model{
+		cfg:    cfg,
+		corpus: c,
+		dc:     newDistCalc(c.Gaz),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		useF:   cfg.Variant != TweetingOnly,
+		useT:   cfg.Variant != FollowingOnly,
+		alpha:  cfg.Alpha,
+		beta:   cfg.Beta,
+	}
+	hasObs := (m.useF && len(c.Edges) > 0) || (m.useT && len(c.Tweets) > 0)
+	if !hasObs {
+		return nil, errors.New("core: corpus has no observations for the chosen variant")
+	}
+
+	// Zero Alpha/Beta means "learn the location-based following model from
+	// the data", the paper's own Sec. 4.1 procedure. The paper's Twitter
+	// fit backstops corpora too small to measure.
+	if m.alpha == 0 {
+		m.alpha = powerlaw.PaperTwitterFit.Alpha
+	}
+	if m.beta == 0 {
+		m.beta = powerlaw.PaperTwitterFit.Beta
+	}
+	if m.useF && (cfg.Alpha == 0 || cfg.Beta == 0) {
+		m.initPowerLawFromData(cfg.Alpha == 0, cfg.Beta == 0)
+	}
+
+	m.cands = buildCandidates(c, cfg, m.useF, m.useT)
+	m.initState()
+
+	for iter := 1; iter <= cfg.Iterations; iter++ {
+		m.curIter = iter
+		m.sweep()
+		if cfg.GibbsEM && m.useF && iter%cfg.EMInterval == 0 {
+			m.refitPowerLaw()
+		}
+		m.iterationsRun = iter
+		if cfg.OnIteration != nil {
+			cfg.OnIteration(iter, m)
+		}
+	}
+	return m, nil
+}
+
+// initState builds the random models, draws initial assignments from the
+// priors, and initializes the collapsed counts.
+func (m *Model) initState() {
+	c := m.corpus
+	n := len(c.Users)
+
+	m.phi = make([][]float64, n)
+	m.phiSum = make([]float64, n)
+	for u := 0; u < n; u++ {
+		m.phi[u] = make([]float64, len(m.cands.cand[u]))
+	}
+
+	m.numVenues = c.Venues.Len()
+	L := c.Gaz.Len()
+	m.venueCount = make([]map[gazetteer.VenueID]float64, L)
+	m.venueSum = make([]float64, L)
+
+	// Random models, learned empirically as in Sec. 4.2.
+	if n > 1 {
+		m.fr = float64(len(c.Edges)) / (float64(n) * float64(n-1))
+	}
+	m.tr = make([]float64, m.numVenues)
+	if len(c.Tweets) > 0 {
+		for _, t := range c.Tweets {
+			m.tr[t.Venue]++
+		}
+		for v := range m.tr {
+			m.tr[v] /= float64(len(c.Tweets))
+		}
+	}
+
+	// Initial edge state.
+	if m.useF {
+		S := len(c.Edges)
+		m.mu = make([]bool, S)
+		m.ex = make([]uint16, S)
+		m.ey = make([]uint16, S)
+		for s, e := range c.Edges {
+			// Everything starts in the location-based component; the
+			// selectors activate after NoiseBurnIn sweeps.
+			m.mu[s] = false
+			xi := randutil.Categorical(m.rng, m.cands.gamma[e.From])
+			yi := randutil.Categorical(m.rng, m.cands.gamma[e.To])
+			m.ex[s] = uint16(xi)
+			m.ey[s] = uint16(yi)
+			m.phi[e.From][xi]++
+			m.phiSum[e.From]++
+			m.phi[e.To][yi]++
+			m.phiSum[e.To]++
+		}
+	}
+
+	// Initial tweet state.
+	if m.useT {
+		K := len(c.Tweets)
+		m.nu = make([]bool, K)
+		m.tz = make([]uint16, K)
+		for k, t := range c.Tweets {
+			m.nu[k] = false
+			zi := randutil.Categorical(m.rng, m.cands.gamma[t.User])
+			m.tz[k] = uint16(zi)
+			m.phi[t.User][zi]++
+			m.phiSum[t.User]++
+			if !m.nu[k] {
+				m.addVenue(m.cands.cand[t.User][zi], t.Venue)
+			}
+		}
+	}
+}
+
+func (m *Model) addVenue(l gazetteer.CityID, v gazetteer.VenueID) {
+	if m.venueCount[l] == nil {
+		m.venueCount[l] = make(map[gazetteer.VenueID]float64, 8)
+	}
+	m.venueCount[l][v]++
+	m.venueSum[l]++
+}
+
+func (m *Model) removeVenue(l gazetteer.CityID, v gazetteer.VenueID) {
+	m.venueCount[l][v]--
+	if m.venueCount[l][v] <= 0 {
+		delete(m.venueCount[l], v)
+	}
+	m.venueSum[l]--
+}
+
+// psi returns the collapsed venue probability ψ̂_l(v) (Eq. 6's second
+// factor): (φ_{l,v} + δ) / (Σ_v φ_{l,v} + δ|V|).
+func (m *Model) psi(l gazetteer.CityID, v gazetteer.VenueID) float64 {
+	var cnt float64
+	if m.venueCount[l] != nil {
+		cnt = m.venueCount[l][v]
+	}
+	return (cnt + m.cfg.Delta) / (m.venueSum[l] + m.cfg.Delta*float64(m.numVenues))
+}
+
+// theta returns the collapsed profile probability of candidate idx for
+// user u — the (ϕ + γ)/(ϕ_i + Σγ) factor of Eqs. 5–9. When excludeSelf,
+// one occurrence (the caller's own counted assignment) is removed first,
+// giving the paper's "−1" form.
+func (m *Model) theta(u dataset.UserID, idx int, excludeSelf bool) float64 {
+	num := m.phi[u][idx] + m.cands.gamma[u][idx]
+	den := m.phiSum[u] + m.cands.gammaSum[u]
+	if excludeSelf {
+		num--
+		den--
+	}
+	if num < 0 {
+		num = 0
+	}
+	if den <= 0 {
+		return 0
+	}
+	return num / den
+}
+
+// Config returns the (defaulted) configuration the model was fitted with.
+func (m *Model) Config() Config { return m.cfg }
+
+// AlphaBeta returns the current power-law parameters — the initial
+// configuration values, or the Gibbs-EM refinement when enabled.
+func (m *Model) AlphaBeta() (alpha, beta float64) { return m.alpha, m.beta }
+
+// Iterations returns the number of Gibbs sweeps performed.
+func (m *Model) Iterations() int { return m.iterationsRun }

@@ -1,0 +1,419 @@
+package core
+
+import (
+	"math"
+
+	"mlprofile/internal/dataset"
+	"mlprofile/internal/powerlaw"
+	"mlprofile/internal/randutil"
+	"mlprofile/internal/stats"
+)
+
+// sweep performs one Gibbs iteration: every following relationship's
+// (x, y, µ) and every tweeting relationship's (z, ν) is resampled from its
+// conditional posterior (Eqs. 5–9).
+func (m *Model) sweep() {
+	if m.useF {
+		if m.cfg.BlockedSampler {
+			for s := range m.corpus.Edges {
+				m.updateEdgeBlocked(s)
+			}
+		} else {
+			for s := range m.corpus.Edges {
+				m.updateEdge(s)
+			}
+		}
+	}
+	if m.useT {
+		for k := range m.corpus.Tweets {
+			m.updateTweet(k)
+		}
+	}
+}
+
+// updateEdge resamples x_s (Eq. 7), y_s (Eq. 8) and µ_s (Eq. 5) for one
+// following relationship, in the paper's per-variable fashion.
+//
+// Convention (see DESIGN.md): location assignments contribute to the
+// profile counts ϕ only while the relationship is location-based (µ=0).
+// A noise-flagged relationship keeps phantom assignments — refreshed from
+// the profile alone, per the first factor of Eqs. 7–8 — but stops voting,
+// which is how MLP "automatically rules out noisy relationships".
+func (m *Model) updateEdge(s int) {
+	e := m.corpus.Edges[s]
+	candI := m.cands.cand[e.From]
+	candJ := m.cands.cand[e.To]
+	gammaI := m.cands.gamma[e.From]
+	gammaJ := m.cands.gamma[e.To]
+	phiI := m.phi[e.From]
+	phiJ := m.phi[e.To]
+	counted := !m.mu[s]
+
+	// --- x_s (follower side, Eq. 7) ---
+	xi := int(m.ex[s])
+	if counted {
+		phiI[xi]--
+		m.phiSum[e.From]--
+	}
+	yLoc := candJ[m.ey[s]]
+	weights := m.buf(len(candI))
+	for c := range candI {
+		w := phiI[c] + gammaI[c]
+		if counted {
+			w *= m.dc.powDist(candI[c], yLoc, m.alpha)
+		}
+		weights[c] = w
+	}
+	xi = randutil.Categorical(m.rng, weights)
+	if xi < 0 {
+		xi = int(m.ex[s])
+	}
+	m.ex[s] = uint16(xi)
+	if counted {
+		phiI[xi]++
+		m.phiSum[e.From]++
+	}
+
+	// --- y_s (friend side, Eq. 8) ---
+	yi := int(m.ey[s])
+	if counted {
+		phiJ[yi]--
+		m.phiSum[e.To]--
+	}
+	xLoc := candI[xi]
+	weights = m.buf(len(candJ))
+	for c := range candJ {
+		w := phiJ[c] + gammaJ[c]
+		if counted {
+			w *= m.dc.powDist(xLoc, candJ[c], m.alpha)
+		}
+		weights[c] = w
+	}
+	yi = randutil.Categorical(m.rng, weights)
+	if yi < 0 {
+		yi = int(m.ey[s])
+	}
+	m.ey[s] = uint16(yi)
+	if counted {
+		phiJ[yi]++
+		m.phiSum[e.To]++
+	}
+
+	// --- µ_s (Eq. 5) ---
+	// The profile factors θ̂_x·θ̂_y suppress the location-based branch for
+	// weakly supported assignments, which drains scattered long-range
+	// edges into the noise bucket. Early in sampling this would be a trap
+	// (diffuse profiles make *everything* look like noise), so the mixture
+	// only activates after NoiseBurnIn sweeps.
+	if m.cfg.RhoF <= 0 || m.curIter <= m.cfg.NoiseBurnIn {
+		return
+	}
+	thetaX := m.theta(e.From, xi, counted)
+	thetaY := m.theta(e.To, yi, counted)
+	p1 := m.cfg.RhoF * m.fr
+	p0 := (1 - m.cfg.RhoF) * thetaX * thetaY * m.beta *
+		m.dc.powDist(candI[xi], candJ[yi], m.alpha)
+	noisy := randutil.Bernoulli(m.rng, p1/(p0+p1))
+	if noisy == m.mu[s] {
+		return
+	}
+	m.mu[s] = noisy
+	if noisy {
+		// 0 → 1: the assignments stop counting.
+		phiI[xi]--
+		phiJ[yi]--
+		m.phiSum[e.From]--
+		m.phiSum[e.To]--
+	} else {
+		// 1 → 0: the assignments start counting.
+		phiI[xi]++
+		phiJ[yi]++
+		m.phiSum[e.From]++
+		m.phiSum[e.To]++
+	}
+}
+
+// updateEdgeBlocked jointly resamples (µ_s, x_s, y_s) from their exact
+// joint conditional — the blocked-sampler ablation. The model is
+// unchanged; only the inference move differs.
+func (m *Model) updateEdgeBlocked(s int) {
+	e := m.corpus.Edges[s]
+	candI := m.cands.cand[e.From]
+	candJ := m.cands.cand[e.To]
+	gammaI := m.cands.gamma[e.From]
+	gammaJ := m.cands.gamma[e.To]
+	phiI := m.phi[e.From]
+	phiJ := m.phi[e.To]
+
+	// Remove the current assignments from the counts when they count.
+	if !m.mu[s] {
+		phiI[m.ex[s]]--
+		phiJ[m.ey[s]]--
+		m.phiSum[e.From]--
+		m.phiSum[e.To]--
+	}
+
+	nI, nJ := len(candI), len(candJ)
+	wx := make([]float64, nI)
+	wy := make([]float64, nJ)
+	for c := range candI {
+		wx[c] = phiI[c] + gammaI[c]
+	}
+	for c := range candJ {
+		wy[c] = phiJ[c] + gammaJ[c]
+	}
+	denI := m.phiSum[e.From] + m.cands.gammaSum[e.From]
+	denJ := m.phiSum[e.To] + m.cands.gammaSum[e.To]
+
+	// W1: noise branch weight (the θ̂ marginals integrate out to 1).
+	// W0: location-based branch marginalized over all candidate pairs.
+	// During burn-in the noise branch is held off.
+	w1 := m.cfg.RhoF * m.fr
+	if m.curIter <= m.cfg.NoiseBurnIn {
+		w1 = 0
+	}
+	pair := make([]float64, nI*nJ)
+	var pairSum float64
+	for i := 0; i < nI; i++ {
+		for j := 0; j < nJ; j++ {
+			w := wx[i] * wy[j] * m.dc.powDist(candI[i], candJ[j], m.alpha)
+			pair[i*nJ+j] = w
+			pairSum += w
+		}
+	}
+	w0 := (1 - m.cfg.RhoF) * m.beta * pairSum / (denI * denJ)
+
+	if randutil.Bernoulli(m.rng, w1/(w0+w1)) {
+		// Noise: keep phantom assignments drawn from the profiles alone;
+		// they do not count.
+		m.mu[s] = true
+		xi := randutil.Categorical(m.rng, wx)
+		yi := randutil.Categorical(m.rng, wy)
+		if xi < 0 {
+			xi = int(m.ex[s])
+		}
+		if yi < 0 {
+			yi = int(m.ey[s])
+		}
+		m.ex[s], m.ey[s] = uint16(xi), uint16(yi)
+		return
+	}
+	m.mu[s] = false
+	p := randutil.Categorical(m.rng, pair)
+	if p < 0 {
+		p = int(m.ex[s])*nJ + int(m.ey[s])
+	}
+	m.ex[s], m.ey[s] = uint16(p/nJ), uint16(p%nJ)
+	phiI[m.ex[s]]++
+	phiJ[m.ey[s]]++
+	m.phiSum[e.From]++
+	m.phiSum[e.To]++
+}
+
+// updateTweet resamples z_k (Eq. 9) and ν_k (Eq. 6) for one tweeting
+// relationship, with the same counts-only-while-location-based convention
+// as updateEdge.
+func (m *Model) updateTweet(k int) {
+	t := m.corpus.Tweets[k]
+	cand := m.cands.cand[t.User]
+	gamma := m.cands.gamma[t.User]
+	phi := m.phi[t.User]
+	counted := !m.nu[k]
+
+	// --- z_k (Eq. 9) ---
+	zi := int(m.tz[k])
+	if counted {
+		phi[zi]--
+		m.phiSum[t.User]--
+		m.removeVenue(cand[zi], t.Venue)
+	}
+	weights := m.buf(len(cand))
+	for c := range cand {
+		w := phi[c] + gamma[c]
+		if counted {
+			w *= m.psi(cand[c], t.Venue)
+		}
+		weights[c] = w
+	}
+	zi = randutil.Categorical(m.rng, weights)
+	if zi < 0 {
+		zi = int(m.tz[k])
+	}
+	m.tz[k] = uint16(zi)
+	if counted {
+		phi[zi]++
+		m.phiSum[t.User]++
+		m.addVenue(cand[zi], t.Venue)
+	}
+
+	// --- ν_k (Eq. 6) ---
+	if m.cfg.RhoT <= 0 || m.curIter <= m.cfg.NoiseBurnIn {
+		return
+	}
+	z := cand[zi]
+	if counted {
+		m.removeVenue(z, t.Venue) // exclude self before computing ψ̂
+	}
+	thetaZ := m.theta(t.User, zi, counted)
+	p1 := m.cfg.RhoT * m.tr[t.Venue]
+	p0 := (1 - m.cfg.RhoT) * thetaZ * m.psi(z, t.Venue)
+	noisy := randutil.Bernoulli(m.rng, p1/(p0+p1))
+	if counted {
+		m.addVenue(z, t.Venue)
+	}
+	if noisy == m.nu[k] {
+		return
+	}
+	m.nu[k] = noisy
+	if noisy {
+		phi[zi]--
+		m.phiSum[t.User]--
+		m.removeVenue(z, t.Venue)
+	} else {
+		phi[zi]++
+		m.phiSum[t.User]++
+		m.addVenue(z, t.Venue)
+	}
+}
+
+// Histogram binning shared by the initial data fit and the EM refits.
+const (
+	histMin   = 1.0
+	histRatio = 1.6
+	histBins  = 18
+)
+
+// initPowerLawFromData learns (α, β) before sampling begins, exactly the
+// way the paper learned its −0.55/0.0045 (Sec. 4.1): bucket observed edges
+// by the distance between their endpoints' *observed home labels*, divide
+// by the labeled-pair distance distribution, and fit the power law.
+// setAlpha/setBeta select which parameters the fit may overwrite.
+func (m *Model) initPowerLawFromData(setAlpha, setBeta bool) {
+	num, err := stats.NewLogHistogram(histMin, histRatio, histBins)
+	if err != nil {
+		return
+	}
+	edges := 0
+	for _, e := range m.corpus.Edges {
+		hf := m.corpus.Users[e.From].Home
+		ht := m.corpus.Users[e.To].Home
+		if hf == dataset.NoCity || ht == dataset.NoCity {
+			continue
+		}
+		d := m.dc.miles(hf, ht)
+		if d < histMin {
+			d = histMin
+		}
+		num.Observe(d)
+		edges++
+	}
+	if edges < 100 {
+		return // too few doubly-labeled edges; keep the fallback fit
+	}
+	if alpha, beta, ok := m.fitLawAgainstPairs(num); ok {
+		if setAlpha {
+			m.alpha = alpha
+		}
+		if setBeta {
+			m.beta = beta
+		}
+	}
+}
+
+// refitPowerLaw is the Gibbs-EM M-step (Sec. 4.5): re-estimate (α, β) from
+// the current location-based edge assignments. Following probabilities are
+// measured as the ratio of edge counts to labeled-pair counts per
+// log-spaced distance bucket, then fitted in log-log space.
+func (m *Model) refitPowerLaw() {
+	num, err := stats.NewLogHistogram(histMin, histRatio, histBins)
+	if err != nil {
+		return
+	}
+	edges := 0
+	for s, e := range m.corpus.Edges {
+		if m.mu[s] {
+			continue
+		}
+		x := m.cands.cand[e.From][m.ex[s]]
+		y := m.cands.cand[e.To][m.ey[s]]
+		d := m.dc.miles(x, y)
+		if d < histMin {
+			d = histMin
+		}
+		num.Observe(d)
+		edges++
+	}
+	if edges < 100 {
+		return // not enough location-based edges for a stable refit
+	}
+	if alpha, beta, ok := m.fitLawAgainstPairs(num); ok {
+		m.alpha, m.beta = alpha, beta
+	}
+}
+
+// fitLawAgainstPairs divides the edge-distance histogram by the
+// labeled-pair distance histogram and fits a clamped power law.
+func (m *Model) fitLawAgainstPairs(num *stats.Histogram) (alpha, beta float64, ok bool) {
+	den := m.labeledPairHistogram(histMin, histRatio, histBins)
+	if den == nil {
+		return 0, 0, false
+	}
+	xs, ps, err := num.Ratio(den)
+	if err != nil || len(xs) < 3 {
+		return 0, 0, false
+	}
+	// Weight buckets by their pair support so dense short-range buckets
+	// dominate, as in the paper's 2.5·10¹⁰-pair measurement.
+	ws := make([]float64, 0, len(xs))
+	for i := 0; i < den.Bins(); i++ {
+		if den.Count(i) > 0 {
+			ws = append(ws, den.Count(i))
+		}
+	}
+	law, _, err := powerlaw.Fit(xs, ps, ws)
+	if err != nil {
+		return 0, 0, false
+	}
+	// Clamp to the plausible decay regime to keep the sampler stable.
+	alpha = math.Min(-0.05, math.Max(-2.0, law.Alpha))
+	beta = law.Beta
+	if beta <= 0 || math.IsNaN(beta) || math.IsInf(beta, 0) {
+		return 0, 0, false
+	}
+	return alpha, beta, true
+}
+
+// labeledPairHistogram estimates the distance distribution of labeled user
+// pairs by sampling, scaled to the full (ordered) pair count.
+func (m *Model) labeledPairHistogram(min, ratio float64, bins int) *stats.Histogram {
+	var labeled []int32
+	for i, u := range m.corpus.Users {
+		if u.Labeled() {
+			labeled = append(labeled, int32(i))
+		}
+	}
+	nL := len(labeled)
+	if nL < 2 {
+		return nil
+	}
+	h, err := stats.NewLogHistogram(min, ratio, bins)
+	if err != nil {
+		return nil
+	}
+	samples := m.cfg.EMPairSample
+	totalPairs := float64(nL) * float64(nL-1)
+	scale := totalPairs / float64(samples)
+	for i := 0; i < samples; i++ {
+		a := labeled[m.rng.Intn(nL)]
+		b := labeled[m.rng.Intn(nL)]
+		if a == b {
+			continue
+		}
+		d := m.dc.miles(m.corpus.Users[a].Home, m.corpus.Users[b].Home)
+		if d < min {
+			d = min
+		}
+		h.Add(d, scale)
+	}
+	return h
+}

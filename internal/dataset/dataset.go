@@ -1,0 +1,182 @@
+// Package dataset defines the corpus the profiling models consume — users,
+// following relationships and tweeting relationships over a gazetteer — plus
+// ground truth for synthetic corpora, adjacency helpers, cross-validation
+// splits, and durable TSV/JSON serialization.
+//
+// The shapes mirror the paper's problem abstraction (Sec. 3): following
+// relationships f⟨i,j⟩ between users, tweeting relationships t⟨i,v⟩ from
+// users to venue names, candidate locations L from a gazetteer, and a
+// labeled subset U* of users whose registered home location parses to a
+// city-level label.
+package dataset
+
+import (
+	"errors"
+	"fmt"
+
+	"mlprofile/internal/gazetteer"
+)
+
+// UserID indexes a user within one corpus. IDs are dense, starting at 0.
+type UserID int32
+
+// NoCity marks an absent city reference (unlabeled user, noise assignment).
+const NoCity gazetteer.CityID = -1
+
+// User is one Twitter-like account.
+type User struct {
+	ID UserID
+	// Handle is a synthetic screen name, for display only.
+	Handle string
+	// Registered is the raw profile location string. It may be a parseable
+	// "City, ST", a general/nonsensical string, or empty — exactly the
+	// spread the paper observes (only ~16% of real users are parseable).
+	Registered string
+	// Home is the parsed city-level home location, or NoCity when
+	// Registered does not parse. Users with Home != NoCity form U*.
+	Home gazetteer.CityID
+}
+
+// Labeled reports whether the user carries a city-level label.
+func (u User) Labeled() bool { return u.Home != NoCity }
+
+// FollowEdge is one following relationship f⟨From,To⟩: From follows To.
+type FollowEdge struct {
+	From, To UserID
+}
+
+// TweetRel is one tweeting relationship t⟨User,Venue⟩. A user tweeting the
+// same venue n times appears as n entries, matching the paper's counting.
+type TweetRel struct {
+	User  UserID
+	Venue gazetteer.VenueID
+}
+
+// Corpus is everything observable: the location universe, the venue
+// vocabulary, users with (possibly unparseable) registered locations, and
+// the two relationship sets.
+type Corpus struct {
+	Gaz    *gazetteer.Gazetteer
+	Venues *gazetteer.VenueVocab
+	Users  []User
+	Edges  []FollowEdge
+	Tweets []TweetRel
+}
+
+// Validate checks referential integrity: every edge endpoint and tweet user
+// is a valid user ID, every venue a valid venue ID, every home a valid city
+// or NoCity, and no self-follows.
+func (c *Corpus) Validate() error {
+	if c.Gaz == nil || c.Venues == nil {
+		return errors.New("dataset: corpus missing gazetteer or venue vocabulary")
+	}
+	n := UserID(len(c.Users))
+	for i, u := range c.Users {
+		if u.ID != UserID(i) {
+			return fmt.Errorf("dataset: user %d has ID %d", i, u.ID)
+		}
+		if u.Home != NoCity && (u.Home < 0 || int(u.Home) >= c.Gaz.Len()) {
+			return fmt.Errorf("dataset: user %d has out-of-range home %d", i, u.Home)
+		}
+	}
+	for i, e := range c.Edges {
+		if e.From < 0 || e.From >= n || e.To < 0 || e.To >= n {
+			return fmt.Errorf("dataset: edge %d references missing user", i)
+		}
+		if e.From == e.To {
+			return fmt.Errorf("dataset: edge %d is a self-follow", i)
+		}
+	}
+	for i, t := range c.Tweets {
+		if t.User < 0 || t.User >= n {
+			return fmt.Errorf("dataset: tweet %d references missing user", i)
+		}
+		if t.Venue < 0 || int(t.Venue) >= c.Venues.Len() {
+			return fmt.Errorf("dataset: tweet %d references missing venue", i)
+		}
+	}
+	return nil
+}
+
+// LabeledUsers returns the IDs of users with parsed home locations (U*).
+func (c *Corpus) LabeledUsers() []UserID {
+	var out []UserID
+	for _, u := range c.Users {
+		if u.Labeled() {
+			out = append(out, u.ID)
+		}
+	}
+	return out
+}
+
+// Stats summarizes a corpus the way the paper reports its dataset
+// (Sec. 5, Data Collection).
+type Stats struct {
+	Users          int
+	LabeledUsers   int
+	Locations      int
+	Venues         int
+	Edges          int
+	Tweets         int
+	FriendsPerUser float64 // mean out-degree
+	FollowersPer   float64 // mean in-degree
+	VenuesPerUser  float64 // mean tweeting relationships per user
+}
+
+// Stats computes corpus statistics.
+func (c *Corpus) Stats() Stats {
+	s := Stats{
+		Users:     len(c.Users),
+		Locations: c.Gaz.Len(),
+		Venues:    c.Venues.Len(),
+		Edges:     len(c.Edges),
+		Tweets:    len(c.Tweets),
+	}
+	for _, u := range c.Users {
+		if u.Labeled() {
+			s.LabeledUsers++
+		}
+	}
+	if s.Users > 0 {
+		s.FriendsPerUser = float64(s.Edges) / float64(s.Users)
+		s.FollowersPer = s.FriendsPerUser
+		s.VenuesPerUser = float64(s.Tweets) / float64(s.Users)
+	}
+	return s
+}
+
+// String renders the stats in a compact single line.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"users=%d labeled=%d locations=%d venues=%d edges=%d tweets=%d friends/user=%.1f venues/user=%.1f",
+		s.Users, s.LabeledUsers, s.Locations, s.Venues, s.Edges, s.Tweets,
+		s.FriendsPerUser, s.VenuesPerUser)
+}
+
+// Adjacency holds per-user neighbor lists derived from the edge set.
+type Adjacency struct {
+	// Out[u] lists the users u follows (friends); In[u] lists the users
+	// following u (followers).
+	Out, In [][]UserID
+}
+
+// BuildAdjacency computes adjacency lists from the corpus edges.
+func (c *Corpus) BuildAdjacency() *Adjacency {
+	n := len(c.Users)
+	a := &Adjacency{Out: make([][]UserID, n), In: make([][]UserID, n)}
+	for _, e := range c.Edges {
+		a.Out[e.From] = append(a.Out[e.From], e.To)
+		a.In[e.To] = append(a.In[e.To], e.From)
+	}
+	return a
+}
+
+// Neighbors returns the union of u's friends and followers — "his following
+// network" in the paper's phrasing, used for candidacy vectors and the
+// social baselines.
+func (a *Adjacency) Neighbors(u UserID) []UserID {
+	out := make([]UserID, 0, len(a.Out[u])+len(a.In[u]))
+	out = append(out, a.Out[u]...)
+	out = append(out, a.In[u]...)
+	return out
+}

@@ -1,0 +1,260 @@
+package dataset
+
+import (
+	"testing"
+
+	"mlprofile/internal/gazetteer"
+	"mlprofile/internal/geo"
+)
+
+// tinyCorpus builds a small hand-made corpus for targeted tests.
+func tinyCorpus(t *testing.T) *Corpus {
+	t.Helper()
+	gaz, err := gazetteer.New([]gazetteer.City{
+		{Name: "austin", State: "TX", Point: geo.Point{Lat: 30.27, Lon: -97.74}, Population: 656562},
+		{Name: "houston", State: "TX", Point: geo.Point{Lat: 29.76, Lon: -95.37}, Population: 1953631},
+		{Name: "los angeles", State: "CA", Point: geo.Point{Lat: 34.05, Lon: -118.24}, Population: 3694820},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vv := gazetteer.BuildVenueVocab(gaz)
+	austinV, _ := vv.ID("austin")
+	laV, _ := vv.ID("los angeles")
+	austin, _ := gaz.ResolveInState("austin", "tx")
+	la, _ := gaz.ResolveInState("los angeles", "ca")
+
+	return &Corpus{
+		Gaz:    gaz,
+		Venues: vv,
+		Users: []User{
+			{ID: 0, Handle: "carol", Home: la, Registered: "Los Angeles, CA"},
+			{ID: 1, Handle: "lucy", Home: austin, Registered: "Austin, TX"},
+			{ID: 2, Handle: "gaga", Home: NoCity, Registered: "everywhere"},
+		},
+		Edges: []FollowEdge{
+			{From: 0, To: 1},
+			{From: 0, To: 2},
+			{From: 1, To: 0},
+		},
+		Tweets: []TweetRel{
+			{User: 0, Venue: laV},
+			{User: 0, Venue: austinV},
+			{User: 1, Venue: austinV},
+		},
+	}
+}
+
+func TestCorpusValidate(t *testing.T) {
+	c := tinyCorpus(t)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("selfFollow", func(t *testing.T) {
+		bad := *c
+		bad.Edges = append([]FollowEdge{{From: 1, To: 1}}, c.Edges...)
+		if bad.Validate() == nil {
+			t.Error("self-follow accepted")
+		}
+	})
+	t.Run("danglingEdge", func(t *testing.T) {
+		bad := *c
+		bad.Edges = append([]FollowEdge{{From: 0, To: 99}}, c.Edges...)
+		if bad.Validate() == nil {
+			t.Error("dangling edge accepted")
+		}
+	})
+	t.Run("badVenue", func(t *testing.T) {
+		bad := *c
+		bad.Tweets = append([]TweetRel{{User: 0, Venue: 9999}}, c.Tweets...)
+		if bad.Validate() == nil {
+			t.Error("bad venue accepted")
+		}
+	})
+	t.Run("badUserID", func(t *testing.T) {
+		bad := *c
+		users := append([]User(nil), c.Users...)
+		users[1].ID = 7
+		bad.Users = users
+		if bad.Validate() == nil {
+			t.Error("non-dense user ID accepted")
+		}
+	})
+	t.Run("badHome", func(t *testing.T) {
+		bad := *c
+		users := append([]User(nil), c.Users...)
+		users[0].Home = 50
+		bad.Users = users
+		if bad.Validate() == nil {
+			t.Error("out-of-range home accepted")
+		}
+	})
+	t.Run("missingGazetteer", func(t *testing.T) {
+		bad := *c
+		bad.Gaz = nil
+		if bad.Validate() == nil {
+			t.Error("nil gazetteer accepted")
+		}
+	})
+}
+
+func TestStatsAndLabeled(t *testing.T) {
+	c := tinyCorpus(t)
+	s := c.Stats()
+	if s.Users != 3 || s.LabeledUsers != 2 || s.Edges != 3 || s.Tweets != 3 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.FriendsPerUser != 1 || s.VenuesPerUser != 1 {
+		t.Errorf("per-user stats = %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+	labeled := c.LabeledUsers()
+	if len(labeled) != 2 || labeled[0] != 0 || labeled[1] != 1 {
+		t.Errorf("LabeledUsers = %v", labeled)
+	}
+}
+
+func TestAdjacency(t *testing.T) {
+	c := tinyCorpus(t)
+	adj := c.BuildAdjacency()
+	if len(adj.Out[0]) != 2 || len(adj.In[0]) != 1 {
+		t.Errorf("user 0 adjacency: out=%v in=%v", adj.Out[0], adj.In[0])
+	}
+	nb := adj.Neighbors(0)
+	if len(nb) != 3 {
+		t.Errorf("Neighbors(0) = %v", nb)
+	}
+	if len(adj.Out[2]) != 0 || len(adj.In[2]) != 1 {
+		t.Errorf("user 2 adjacency: out=%v in=%v", adj.Out[2], adj.In[2])
+	}
+}
+
+func TestKFold(t *testing.T) {
+	folds := KFold(103, 5, 42)
+	if len(folds) != 5 {
+		t.Fatalf("%d folds", len(folds))
+	}
+	seen := map[UserID]int{}
+	for _, f := range folds {
+		if len(f) < 20 || len(f) > 21 {
+			t.Errorf("fold size %d", len(f))
+		}
+		for _, u := range f {
+			seen[u]++
+		}
+	}
+	if len(seen) != 103 {
+		t.Fatalf("folds cover %d users, want 103", len(seen))
+	}
+	for u, n := range seen {
+		if n != 1 {
+			t.Fatalf("user %d appears %d times", u, n)
+		}
+	}
+	// Determinism.
+	again := KFold(103, 5, 42)
+	for i := range folds {
+		if len(folds[i]) != len(again[i]) {
+			t.Fatal("KFold not deterministic")
+		}
+		for j := range folds[i] {
+			if folds[i][j] != again[i][j] {
+				t.Fatal("KFold not deterministic")
+			}
+		}
+	}
+	if KFold(0, 5, 1) != nil || KFold(5, 0, 1) != nil {
+		t.Error("degenerate KFold should return nil")
+	}
+	if got := KFold(3, 10, 1); len(got) != 3 {
+		t.Errorf("k>n should clamp to n folds, got %d", len(got))
+	}
+}
+
+func TestHideLabels(t *testing.T) {
+	c := tinyCorpus(t)
+	users := c.HideLabels([]UserID{0})
+	if users[0].Home != NoCity || users[0].Registered != "" {
+		t.Error("label not hidden")
+	}
+	if users[1].Home == NoCity {
+		t.Error("untargeted label hidden")
+	}
+	// Original untouched.
+	if c.Users[0].Home == NoCity {
+		t.Error("HideLabels mutated the source corpus")
+	}
+	cp := c.WithUsers(users)
+	if cp.Users[0].Home != NoCity || c.Users[0].Home == NoCity {
+		t.Error("WithUsers sharing is wrong")
+	}
+	if len(cp.Edges) != len(c.Edges) {
+		t.Error("WithUsers must share edges")
+	}
+}
+
+func TestGroundTruthHelpers(t *testing.T) {
+	c := tinyCorpus(t)
+	austin, _ := c.Gaz.ResolveInState("austin", "tx")
+	houston, _ := c.Gaz.ResolveInState("houston", "tx")
+	la, _ := c.Gaz.ResolveInState("los angeles", "ca")
+
+	truth := &GroundTruth{
+		Profiles: [][]WeightedLocation{
+			{{City: la, Weight: 0.7}, {City: austin, Weight: 0.3}},
+			{{City: austin, Weight: 1}},
+			{{City: houston, Weight: 1}},
+		},
+		EdgeTruths: []EdgeTruth{
+			{X: austin, Y: austin},
+			{Noise: true, X: NoCity, Y: NoCity},
+			{X: austin, Y: la},
+		},
+		TweetTruths: []TweetTruth{
+			{Z: la},
+			{Z: austin},
+			{Noise: true, Z: NoCity},
+		},
+	}
+	if err := truth.Validate(c); err != nil {
+		t.Fatal(err)
+	}
+	if truth.Home(0) != la {
+		t.Error("Home(0) wrong")
+	}
+	if got := truth.TrueCities(0); len(got) != 2 || got[0] != la || got[1] != austin {
+		t.Errorf("TrueCities(0) = %v", got)
+	}
+	if got := truth.MultiLocationUsers(); len(got) != 1 || got[0] != 0 {
+		t.Errorf("MultiLocationUsers = %v", got)
+	}
+
+	t.Run("rejectsBadShapes", func(t *testing.T) {
+		bad := *truth
+		bad.EdgeTruths = bad.EdgeTruths[:1]
+		if bad.Validate(c) == nil {
+			t.Error("edge count mismatch accepted")
+		}
+	})
+	t.Run("rejectsNoisyWithAssignment", func(t *testing.T) {
+		bad := *truth
+		ets := append([]EdgeTruth(nil), truth.EdgeTruths...)
+		ets[1] = EdgeTruth{Noise: true, X: austin, Y: NoCity}
+		bad.EdgeTruths = ets
+		if bad.Validate(c) == nil {
+			t.Error("noise edge with assignment accepted")
+		}
+	})
+	t.Run("rejectsBadWeights", func(t *testing.T) {
+		bad := *truth
+		profs := append([][]WeightedLocation(nil), truth.Profiles...)
+		profs[1] = []WeightedLocation{{City: austin, Weight: 0.4}}
+		bad.Profiles = profs
+		if bad.Validate(c) == nil {
+			t.Error("profile weights not summing to 1 accepted")
+		}
+	})
+}

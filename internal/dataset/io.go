@@ -1,0 +1,252 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"mlprofile/internal/gazetteer"
+	"mlprofile/internal/geo"
+)
+
+// File names used inside a dataset directory.
+const (
+	citiesFile = "cities.tsv"
+	usersFile  = "users.tsv"
+	edgesFile  = "edges.tsv"
+	tweetsFile = "tweets.tsv"
+	truthFile  = "truth.json"
+)
+
+// Save writes the dataset into dir (created if missing) as TSV tables plus
+// an optional truth.json. The format is line-oriented and diff-friendly:
+//
+//	cities.tsv: id, name, state, lat, lon, population
+//	users.tsv:  id, handle, home ("-" when unlabeled), registered
+//	edges.tsv:  from, to
+//	tweets.tsv: user, venue name
+func (d *Dataset) Save(dir string) error {
+	if err := d.Validate(); err != nil {
+		return fmt.Errorf("dataset: refusing to save invalid dataset: %w", err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+
+	if err := writeLines(filepath.Join(dir, citiesFile), func(w *bufio.Writer) error {
+		for _, c := range d.Corpus.Gaz.Cities() {
+			fmt.Fprintf(w, "%d\t%s\t%s\t%.6f\t%.6f\t%d\n",
+				c.ID, c.Name, c.State, c.Point.Lat, c.Point.Lon, c.Population)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if err := writeLines(filepath.Join(dir, usersFile), func(w *bufio.Writer) error {
+		for _, u := range d.Corpus.Users {
+			home := "-"
+			if u.Labeled() {
+				home = strconv.Itoa(int(u.Home))
+			}
+			fmt.Fprintf(w, "%d\t%s\t%s\t%s\n", u.ID, sanitize(u.Handle), home, sanitize(u.Registered))
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if err := writeLines(filepath.Join(dir, edgesFile), func(w *bufio.Writer) error {
+		for _, e := range d.Corpus.Edges {
+			fmt.Fprintf(w, "%d\t%d\n", e.From, e.To)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if err := writeLines(filepath.Join(dir, tweetsFile), func(w *bufio.Writer) error {
+		for _, t := range d.Corpus.Tweets {
+			fmt.Fprintf(w, "%d\t%s\n", t.User, d.Corpus.Venues.Venue(t.Venue).Name)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if d.Truth != nil {
+		f, err := os.Create(filepath.Join(dir, truthFile))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		if err := enc.Encode(d.Truth); err != nil {
+			return fmt.Errorf("dataset: encoding truth: %w", err)
+		}
+	}
+	return nil
+}
+
+// Load reads a dataset previously written by Save. The venue vocabulary is
+// rebuilt deterministically from the gazetteer, and tweet venue names are
+// resolved against it. Loading validates the result.
+func Load(dir string) (*Dataset, error) {
+	cities, err := loadCities(filepath.Join(dir, citiesFile))
+	if err != nil {
+		return nil, err
+	}
+	gaz, err := gazetteer.New(cities)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %s: %w", citiesFile, err)
+	}
+	venues := gazetteer.BuildVenueVocab(gaz)
+
+	d := &Dataset{Corpus: Corpus{Gaz: gaz, Venues: venues}}
+
+	if err := readLines(filepath.Join(dir, usersFile), 4, func(lineNo int, f []string) error {
+		id, err := strconv.Atoi(f[0])
+		if err != nil || id != len(d.Corpus.Users) {
+			return fmt.Errorf("bad or out-of-order user id %q", f[0])
+		}
+		home := NoCity
+		if f[2] != "-" {
+			h, err := strconv.Atoi(f[2])
+			if err != nil {
+				return fmt.Errorf("bad home %q", f[2])
+			}
+			home = gazetteer.CityID(h)
+		}
+		d.Corpus.Users = append(d.Corpus.Users, User{
+			ID: UserID(id), Handle: f[1], Home: home, Registered: f[3],
+		})
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := readLines(filepath.Join(dir, edgesFile), 2, func(lineNo int, f []string) error {
+		from, err1 := strconv.Atoi(f[0])
+		to, err2 := strconv.Atoi(f[1])
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("bad edge %q -> %q", f[0], f[1])
+		}
+		d.Corpus.Edges = append(d.Corpus.Edges, FollowEdge{From: UserID(from), To: UserID(to)})
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := readLines(filepath.Join(dir, tweetsFile), 2, func(lineNo int, f []string) error {
+		u, err := strconv.Atoi(f[0])
+		if err != nil {
+			return fmt.Errorf("bad tweet user %q", f[0])
+		}
+		vid, ok := venues.ID(f[1])
+		if !ok {
+			return fmt.Errorf("unknown venue %q", f[1])
+		}
+		d.Corpus.Tweets = append(d.Corpus.Tweets, TweetRel{User: UserID(u), Venue: vid})
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if raw, err := os.ReadFile(filepath.Join(dir, truthFile)); err == nil {
+		var truth GroundTruth
+		if err := json.Unmarshal(raw, &truth); err != nil {
+			return nil, fmt.Errorf("dataset: %s: %w", truthFile, err)
+		}
+		d.Truth = &truth
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func loadCities(path string) ([]gazetteer.City, error) {
+	var cities []gazetteer.City
+	err := readLines(path, 6, func(lineNo int, f []string) error {
+		id, err := strconv.Atoi(f[0])
+		if err != nil || id != len(cities) {
+			return fmt.Errorf("bad or out-of-order city id %q", f[0])
+		}
+		lat, err1 := strconv.ParseFloat(f[3], 64)
+		lon, err2 := strconv.ParseFloat(f[4], 64)
+		pop, err3 := strconv.Atoi(f[5])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return fmt.Errorf("bad city numeric fields")
+		}
+		cities = append(cities, gazetteer.City{
+			Name: f[1], State: f[2],
+			Point:      geo.Point{Lat: lat, Lon: lon},
+			Population: pop,
+		})
+		return nil
+	})
+	return cities, err
+}
+
+// writeLines creates path and streams table rows through a buffered writer.
+func writeLines(path string, fill func(*bufio.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if err := fill(w); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// readLines parses a TSV file with exactly wantFields fields per line,
+// reporting the file and line number on error.
+func readLines(path string, wantFields int, handle func(int, []string) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if len(fields) != wantFields {
+			return fmt.Errorf("dataset: %s:%d: %d fields, want %d", filepath.Base(path), lineNo, len(fields), wantFields)
+		}
+		if err := handle(lineNo, fields); err != nil {
+			return fmt.Errorf("dataset: %s:%d: %w", filepath.Base(path), lineNo, err)
+		}
+	}
+	return sc.Err()
+}
+
+// sanitize strips characters that would corrupt the TSV framing.
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		if r == '\t' || r == '\n' || r == '\r' {
+			return ' '
+		}
+		return r
+	}, s)
+}

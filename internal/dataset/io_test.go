@@ -1,0 +1,170 @@
+package dataset
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func tinyDataset(t *testing.T) *Dataset {
+	t.Helper()
+	c := tinyCorpus(t)
+	austin, _ := c.Gaz.ResolveInState("austin", "tx")
+	houston, _ := c.Gaz.ResolveInState("houston", "tx")
+	la, _ := c.Gaz.ResolveInState("los angeles", "ca")
+	return &Dataset{
+		Corpus: *c,
+		Truth: &GroundTruth{
+			Profiles: [][]WeightedLocation{
+				{{City: la, Weight: 0.7}, {City: austin, Weight: 0.3}},
+				{{City: austin, Weight: 1}},
+				{{City: houston, Weight: 1}},
+			},
+			EdgeTruths: []EdgeTruth{
+				{X: austin, Y: austin},
+				{Noise: true, X: NoCity, Y: NoCity},
+				{X: austin, Y: la},
+			},
+			TweetTruths: []TweetTruth{
+				{Z: la},
+				{Z: austin},
+				{Noise: true, Z: NoCity},
+			},
+		},
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	d := tinyDataset(t)
+	dir := t.TempDir()
+	if err := d.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.Corpus.Gaz.Len() != d.Corpus.Gaz.Len() {
+		t.Fatalf("gazetteer size %d != %d", got.Corpus.Gaz.Len(), d.Corpus.Gaz.Len())
+	}
+	if len(got.Corpus.Users) != len(d.Corpus.Users) {
+		t.Fatalf("user count differs")
+	}
+	for i := range d.Corpus.Users {
+		a, b := d.Corpus.Users[i], got.Corpus.Users[i]
+		if a.Handle != b.Handle || a.Home != b.Home || a.Registered != b.Registered {
+			t.Errorf("user %d: %+v != %+v", i, a, b)
+		}
+	}
+	if len(got.Corpus.Edges) != len(d.Corpus.Edges) {
+		t.Fatal("edge count differs")
+	}
+	for i := range d.Corpus.Edges {
+		if d.Corpus.Edges[i] != got.Corpus.Edges[i] {
+			t.Errorf("edge %d differs", i)
+		}
+	}
+	for i := range d.Corpus.Tweets {
+		if d.Corpus.Tweets[i] != got.Corpus.Tweets[i] {
+			t.Errorf("tweet %d differs", i)
+		}
+	}
+	if got.Truth == nil {
+		t.Fatal("truth lost in round trip")
+	}
+	if len(got.Truth.Profiles) != 3 || got.Truth.Profiles[0][0].City != d.Truth.Profiles[0][0].City {
+		t.Error("truth profiles differ")
+	}
+	if got.Truth.EdgeTruths[1].Noise != true {
+		t.Error("edge truth noise flag lost")
+	}
+}
+
+func TestSaveWithoutTruth(t *testing.T) {
+	d := tinyDataset(t)
+	d.Truth = nil
+	dir := t.TempDir()
+	if err := d.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "truth.json")); !os.IsNotExist(err) {
+		t.Error("truth.json written for truthless dataset")
+	}
+	got, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Truth != nil {
+		t.Error("phantom truth loaded")
+	}
+}
+
+func TestSaveRejectsInvalid(t *testing.T) {
+	d := tinyDataset(t)
+	d.Corpus.Edges = append(d.Corpus.Edges, FollowEdge{From: 0, To: 0})
+	d.Truth.EdgeTruths = append(d.Truth.EdgeTruths, EdgeTruth{X: 0, Y: 0})
+	if err := d.Save(t.TempDir()); err == nil {
+		t.Error("invalid dataset saved")
+	}
+}
+
+func TestSanitizeTSVHostileStrings(t *testing.T) {
+	d := tinyDataset(t)
+	d.Corpus.Users[2].Registered = "tab\there\nnewline"
+	dir := t.TempDir()
+	if err := d.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.ContainsAny(got.Corpus.Users[2].Registered, "\t\n") {
+		t.Errorf("hostile characters survived: %q", got.Corpus.Users[2].Registered)
+	}
+}
+
+// TestLoadCorruption injects corruption into each file and verifies Load
+// fails with a useful error instead of silently mis-parsing.
+func TestLoadCorruption(t *testing.T) {
+	cases := []struct {
+		file   string
+		mutate func(string) string
+	}{
+		{"users.tsv", func(s string) string { return strings.Replace(s, "\t", "", 1) }},
+		{"users.tsv", func(s string) string { return "99\tx\t-\tjunk\n" + s }},
+		{"edges.tsv", func(s string) string { return "abc\tdef\n" + s }},
+		{"edges.tsv", func(s string) string { return "0\t999\n" + s }},
+		{"tweets.tsv", func(s string) string { return "0\tnot-a-venue\n" + s }},
+		{"cities.tsv", func(s string) string { return strings.Replace(s, "austin", "", 1) + "xx" }},
+		{"truth.json", func(s string) string { return "{broken" }},
+	}
+	for i, c := range cases {
+		t.Run(c.file, func(t *testing.T) {
+			d := tinyDataset(t)
+			dir := t.TempDir()
+			if err := d.Save(dir); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(dir, c.file)
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(c.mutate(string(raw))), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := Load(dir); err == nil {
+				t.Errorf("case %d: corruption in %s not detected", i, c.file)
+			}
+		})
+	}
+}
+
+func TestLoadMissingDir(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Error("missing directory accepted")
+	}
+}

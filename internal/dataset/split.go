@@ -1,0 +1,45 @@
+package dataset
+
+import "math/rand"
+
+// KFold partitions the user IDs [0, n) into k disjoint folds of
+// near-equal size, shuffled deterministically by seed. The paper's
+// evaluation uses 5-fold cross validation over labeled users: each fold in
+// turn becomes the held-out test set whose labels are hidden.
+func KFold(n, k int, seed int64) [][]UserID {
+	if n <= 0 || k <= 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	folds := make([][]UserID, k)
+	for i, p := range perm {
+		folds[i%k] = append(folds[i%k], UserID(p))
+	}
+	return folds
+}
+
+// HideLabels returns a copy of the corpus users where the given test users'
+// home labels are blanked (Home = NoCity, Registered = ""). The original
+// slice is untouched; edges/tweets are shared.
+func (c *Corpus) HideLabels(test []UserID) []User {
+	users := make([]User, len(c.Users))
+	copy(users, c.Users)
+	for _, u := range test {
+		users[u].Home = NoCity
+		users[u].Registered = ""
+	}
+	return users
+}
+
+// WithUsers returns a shallow copy of the corpus with the user slice
+// replaced — the standard way to run one CV fold without mutating the
+// source corpus.
+func (c *Corpus) WithUsers(users []User) *Corpus {
+	cp := *c
+	cp.Users = users
+	return &cp
+}

@@ -1,0 +1,151 @@
+package dataset
+
+import (
+	"errors"
+	"fmt"
+
+	"mlprofile/internal/gazetteer"
+)
+
+// WeightedLocation is one entry of a user's true location profile.
+type WeightedLocation struct {
+	City   gazetteer.CityID
+	Weight float64 // profile probability; entries for one user sum to ~1
+}
+
+// EdgeTruth records how a following relationship was actually generated.
+type EdgeTruth struct {
+	// Noise marks edges produced by the random model (celebrity follows
+	// etc.). Noise edges carry no location assignments.
+	Noise bool
+	// X is the follower-side true location assignment; Y the friend-side.
+	// Both are NoCity when Noise.
+	X, Y gazetteer.CityID
+}
+
+// TweetTruth records how a tweeting relationship was actually generated.
+type TweetTruth struct {
+	Noise bool
+	// Z is the user-side true location assignment, NoCity when Noise.
+	Z gazetteer.CityID
+}
+
+// GroundTruth is the generator's hidden state for a synthetic corpus: the
+// per-user true multi-location profiles and the per-relationship
+// assignments. Real-world corpora have Truth == nil; the paper substitutes
+// manual labeling (585 multi-location users, 4,426 labeled relationships).
+type GroundTruth struct {
+	// Profiles[u] lists user u's true locations, home first, weights
+	// descending thereafter.
+	Profiles [][]WeightedLocation
+	// EdgeTruths[i] corresponds to Corpus.Edges[i].
+	EdgeTruths []EdgeTruth
+	// TweetTruths[i] corresponds to Corpus.Tweets[i].
+	TweetTruths []TweetTruth
+}
+
+// Home returns user u's true home location (the first profile entry).
+func (t *GroundTruth) Home(u UserID) gazetteer.CityID {
+	p := t.Profiles[u]
+	if len(p) == 0 {
+		return NoCity
+	}
+	return p[0].City
+}
+
+// TrueCities returns user u's true locations in profile order.
+func (t *GroundTruth) TrueCities(u UserID) []gazetteer.CityID {
+	p := t.Profiles[u]
+	out := make([]gazetteer.CityID, len(p))
+	for i, wl := range p {
+		out[i] = wl.City
+	}
+	return out
+}
+
+// MultiLocationUsers returns the users whose true profile has more than one
+// location — the evaluation population for Tables 3–4 and Figures 6–7.
+func (t *GroundTruth) MultiLocationUsers() []UserID {
+	var out []UserID
+	for u, p := range t.Profiles {
+		if len(p) > 1 {
+			out = append(out, UserID(u))
+		}
+	}
+	return out
+}
+
+// Validate checks the truth is consistent with the corpus shapes.
+func (t *GroundTruth) Validate(c *Corpus) error {
+	if len(t.Profiles) != len(c.Users) {
+		return fmt.Errorf("dataset: truth has %d profiles for %d users", len(t.Profiles), len(c.Users))
+	}
+	if len(t.EdgeTruths) != len(c.Edges) {
+		return fmt.Errorf("dataset: truth has %d edge records for %d edges", len(t.EdgeTruths), len(c.Edges))
+	}
+	if len(t.TweetTruths) != len(c.Tweets) {
+		return fmt.Errorf("dataset: truth has %d tweet records for %d tweets", len(t.TweetTruths), len(c.Tweets))
+	}
+	L := gazetteer.CityID(c.Gaz.Len())
+	for u, p := range t.Profiles {
+		if len(p) == 0 {
+			return fmt.Errorf("dataset: user %d has empty true profile", u)
+		}
+		var sum float64
+		for _, wl := range p {
+			if wl.City < 0 || wl.City >= L {
+				return fmt.Errorf("dataset: user %d profile references bad city %d", u, wl.City)
+			}
+			if wl.Weight <= 0 {
+				return fmt.Errorf("dataset: user %d has non-positive profile weight", u)
+			}
+			sum += wl.Weight
+		}
+		if sum < 0.99 || sum > 1.01 {
+			return fmt.Errorf("dataset: user %d profile weights sum to %f", u, sum)
+		}
+	}
+	for i, et := range t.EdgeTruths {
+		if et.Noise {
+			if et.X != NoCity || et.Y != NoCity {
+				return fmt.Errorf("dataset: noise edge %d carries assignments", i)
+			}
+			continue
+		}
+		if et.X < 0 || et.X >= L || et.Y < 0 || et.Y >= L {
+			return fmt.Errorf("dataset: edge %d has bad assignment", i)
+		}
+	}
+	for i, tt := range t.TweetTruths {
+		if tt.Noise {
+			if tt.Z != NoCity {
+				return fmt.Errorf("dataset: noise tweet %d carries an assignment", i)
+			}
+			continue
+		}
+		if tt.Z < 0 || tt.Z >= L {
+			return fmt.Errorf("dataset: tweet %d has bad assignment", i)
+		}
+	}
+	return nil
+}
+
+// Dataset bundles a corpus with optional ground truth.
+type Dataset struct {
+	Corpus Corpus
+	Truth  *GroundTruth // nil for real-world data
+}
+
+// Validate checks the corpus and, when present, the truth.
+func (d *Dataset) Validate() error {
+	if err := d.Corpus.Validate(); err != nil {
+		return err
+	}
+	if d.Truth != nil {
+		return d.Truth.Validate(&d.Corpus)
+	}
+	return nil
+}
+
+// ErrNoTruth is returned by operations that require ground truth.
+var ErrNoTruth = errors.New("dataset: no ground truth available")

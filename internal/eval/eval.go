@@ -1,0 +1,241 @@
+// Package eval implements the paper's evaluation measures: accuracy within
+// m miles for home prediction (ACC@m, Sec. 5.1), accumulative accuracy at
+// distance curves (Fig. 4), distance-based precision and recall at rank K
+// for multiple location discovery (DP@K / DR@K, Sec. 5.2), and
+// relationship-explanation accuracy (Sec. 5.3).
+package eval
+
+import (
+	"math"
+
+	"mlprofile/internal/gazetteer"
+)
+
+// HomeEval accumulates home-prediction results: the distance between each
+// predicted and true home. Missing predictions count as misses at every
+// threshold.
+type HomeEval struct {
+	distances []float64 // NaN marks a missing prediction
+}
+
+// Add records one user's prediction error in miles.
+func (e *HomeEval) Add(distMiles float64) { e.distances = append(e.distances, distMiles) }
+
+// AddMissing records a user for whom the method produced no prediction.
+func (e *HomeEval) AddMissing() { e.distances = append(e.distances, math.NaN()) }
+
+// N returns the number of evaluated users.
+func (e *HomeEval) N() int { return len(e.distances) }
+
+// Merge appends another evaluation's results (e.g. one CV fold's).
+func (e *HomeEval) Merge(other *HomeEval) { e.distances = append(e.distances, other.distances...) }
+
+// ACC returns ACC@m: the fraction of users whose predicted home lies
+// within m miles of the true home.
+func (e *HomeEval) ACC(m float64) float64 {
+	if len(e.distances) == 0 {
+		return 0
+	}
+	hit := 0
+	for _, d := range e.distances {
+		if !math.IsNaN(d) && d <= m {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(e.distances))
+}
+
+// Curve returns the accumulative accuracy at each distance in ms — the AAD
+// curves of Fig. 4.
+func (e *HomeEval) Curve(ms []float64) []float64 {
+	out := make([]float64, len(ms))
+	for i, m := range ms {
+		out[i] = e.ACC(m)
+	}
+	return out
+}
+
+// MeanDistance returns the mean prediction error over users with
+// predictions, and the count of missing predictions.
+func (e *HomeEval) MeanDistance() (mean float64, missing int) {
+	var sum float64
+	n := 0
+	for _, d := range e.distances {
+		if math.IsNaN(d) {
+			missing++
+			continue
+		}
+		sum += d
+		n++
+	}
+	if n == 0 {
+		return 0, missing
+	}
+	return sum / float64(n), missing
+}
+
+// closeEnough is the paper's c(l, L): l is within m miles of some member
+// of L.
+func closeEnough(g *gazetteer.Gazetteer, l gazetteer.CityID, L []gazetteer.CityID, m float64) bool {
+	for _, l2 := range L {
+		if g.Distance(l, l2) <= m {
+			return true
+		}
+	}
+	return false
+}
+
+// DP computes the distance-based precision for one user: the fraction of
+// predicted locations close enough (within m miles) to some true location.
+// It returns 0 for an empty prediction set.
+func DP(g *gazetteer.Gazetteer, predicted, truth []gazetteer.CityID, m float64) float64 {
+	if len(predicted) == 0 {
+		return 0
+	}
+	hit := 0
+	for _, l := range predicted {
+		if closeEnough(g, l, truth, m) {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(predicted))
+}
+
+// DR computes the distance-based recall for one user: the fraction of true
+// locations close enough to some predicted location.
+func DR(g *gazetteer.Gazetteer, predicted, truth []gazetteer.CityID, m float64) float64 {
+	if len(truth) == 0 {
+		return 0
+	}
+	hit := 0
+	for _, l := range truth {
+		if closeEnough(g, l, predicted, m) {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(truth))
+}
+
+// MultiLocEval averages DP@K and DR@K over a user population.
+type MultiLocEval struct {
+	dpSum, drSum float64
+	n            int
+}
+
+// Add records one user's predicted top-K against their true locations.
+func (e *MultiLocEval) Add(g *gazetteer.Gazetteer, predicted, truth []gazetteer.CityID, m float64) {
+	e.dpSum += DP(g, predicted, truth, m)
+	e.drSum += DR(g, predicted, truth, m)
+	e.n++
+}
+
+// DP returns the mean distance-based precision.
+func (e *MultiLocEval) DP() float64 {
+	if e.n == 0 {
+		return 0
+	}
+	return e.dpSum / float64(e.n)
+}
+
+// DR returns the mean distance-based recall.
+func (e *MultiLocEval) DR() float64 {
+	if e.n == 0 {
+		return 0
+	}
+	return e.drSum / float64(e.n)
+}
+
+// N returns the number of users evaluated.
+func (e *MultiLocEval) N() int { return e.n }
+
+// Merge folds another evaluation's sums into this one.
+func (e *MultiLocEval) Merge(other *MultiLocEval) {
+	e.dpSum += other.dpSum
+	e.drSum += other.drSum
+	e.n += other.n
+}
+
+// RelEval accumulates relationship-explanation outcomes: a relationship is
+// accurately explained iff both endpoints' assignments are within m miles
+// of the true assignments (Sec. 5.3). Distances for both endpoints are
+// recorded so accuracy can be read at several thresholds.
+type RelEval struct {
+	// worst[i] is the larger of the two endpoint errors for edge i; NaN
+	// marks an unexplained edge.
+	worst []float64
+}
+
+// Add records one explained edge's endpoint errors in miles.
+func (e *RelEval) Add(xErr, yErr float64) {
+	if yErr > xErr {
+		xErr = yErr
+	}
+	e.worst = append(e.worst, xErr)
+}
+
+// AddMissing records an edge the method could not explain.
+func (e *RelEval) AddMissing() { e.worst = append(e.worst, math.NaN()) }
+
+// ACC returns the fraction of edges whose worse endpoint error is within
+// m miles.
+func (e *RelEval) ACC(m float64) float64 {
+	if len(e.worst) == 0 {
+		return 0
+	}
+	hit := 0
+	for _, d := range e.worst {
+		if !math.IsNaN(d) && d <= m {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(e.worst))
+}
+
+// N returns the number of edges evaluated.
+func (e *RelEval) N() int { return len(e.worst) }
+
+// Merge appends another evaluation's results.
+func (e *RelEval) Merge(other *RelEval) { e.worst = append(e.worst, other.worst...) }
+
+// ConvergenceTrace records a per-iteration metric and exposes the absolute
+// change between consecutive iterations — the Fig. 5 series.
+type ConvergenceTrace struct {
+	values []float64
+}
+
+// Record appends one iteration's metric value.
+func (c *ConvergenceTrace) Record(v float64) { c.values = append(c.values, v) }
+
+// Values returns the raw per-iteration series.
+func (c *ConvergenceTrace) Values() []float64 { return c.values }
+
+// Changes returns |v_t − v_{t−1}| for t ≥ 1.
+func (c *ConvergenceTrace) Changes() []float64 {
+	if len(c.values) < 2 {
+		return nil
+	}
+	out := make([]float64, len(c.values)-1)
+	for i := 1; i < len(c.values); i++ {
+		out[i-1] = math.Abs(c.values[i] - c.values[i-1])
+	}
+	return out
+}
+
+// ConvergedAt returns the first 1-based iteration whose change drops below
+// eps and stays there, or 0 if never.
+func (c *ConvergenceTrace) ConvergedAt(eps float64) int {
+	changes := c.Changes()
+	for i := range changes {
+		stable := true
+		for j := i; j < len(changes); j++ {
+			if changes[j] > eps {
+				stable = false
+				break
+			}
+		}
+		if stable {
+			return i + 1
+		}
+	}
+	return 0
+}

@@ -1,0 +1,172 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"mlprofile/internal/gazetteer"
+	"mlprofile/internal/geo"
+)
+
+func testGaz(t *testing.T) *gazetteer.Gazetteer {
+	t.Helper()
+	g, err := gazetteer.New([]gazetteer.City{
+		{Name: "austin", State: "TX", Point: geo.Point{Lat: 30.27, Lon: -97.74}},        // 0
+		{Name: "round rock", State: "TX", Point: geo.Point{Lat: 30.51, Lon: -97.68}},    // 1 (~17 mi)
+		{Name: "los angeles", State: "CA", Point: geo.Point{Lat: 34.05, Lon: -118.24}},  // 2
+		{Name: "santa monica", State: "CA", Point: geo.Point{Lat: 34.02, Lon: -118.49}}, // 3 (~15 mi from LA)
+		{Name: "new york", State: "NY", Point: geo.Point{Lat: 40.71, Lon: -74.01}},      // 4
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestHomeEvalACC(t *testing.T) {
+	var e HomeEval
+	e.Add(0)
+	e.Add(50)
+	e.Add(150)
+	e.AddMissing()
+	if e.N() != 4 {
+		t.Fatalf("N = %d", e.N())
+	}
+	if got := e.ACC(100); got != 0.5 {
+		t.Errorf("ACC@100 = %f", got)
+	}
+	if got := e.ACC(200); got != 0.75 {
+		t.Errorf("ACC@200 = %f (missing must never count)", got)
+	}
+	if got := e.ACC(0); got != 0.25 {
+		t.Errorf("ACC@0 = %f", got)
+	}
+	curve := e.Curve([]float64{0, 100, 200})
+	if curve[0] != 0.25 || curve[1] != 0.5 || curve[2] != 0.75 {
+		t.Errorf("curve = %v", curve)
+	}
+	mean, missing := e.MeanDistance()
+	if missing != 1 || math.Abs(mean-200.0/3) > 1e-9 {
+		t.Errorf("mean=%f missing=%d", mean, missing)
+	}
+	var empty HomeEval
+	if empty.ACC(100) != 0 {
+		t.Error("empty eval should report 0")
+	}
+}
+
+func TestHomeEvalCurveMonotone(t *testing.T) {
+	var e HomeEval
+	for _, d := range []float64{3, 20, 77, 140, 500, 2500} {
+		e.Add(d)
+	}
+	ms := []float64{0, 10, 50, 100, 250, 1000, 5000}
+	curve := e.Curve(ms)
+	for i := 1; i < len(curve); i++ {
+		if curve[i] < curve[i-1] {
+			t.Fatalf("AAD curve not monotone at %d: %v", i, curve)
+		}
+	}
+}
+
+func TestDPAndDR(t *testing.T) {
+	g := testGaz(t)
+	austin, rr := gazetteer.CityID(0), gazetteer.CityID(1)
+	la, sm, ny := gazetteer.CityID(2), gazetteer.CityID(3), gazetteer.CityID(4)
+
+	// Truth: LA + Austin. Prediction: Santa Monica + Round Rock — both
+	// within 100 miles of a true location: DP=1, DR=1.
+	truth := []gazetteer.CityID{la, austin}
+	pred := []gazetteer.CityID{sm, rr}
+	if dp := DP(g, pred, truth, 100); dp != 1 {
+		t.Errorf("DP = %f", dp)
+	}
+	if dr := DR(g, pred, truth, 100); dr != 1 {
+		t.Errorf("DR = %f", dr)
+	}
+
+	// Prediction: Santa Monica + NY — DP=0.5 (NY matches nothing),
+	// DR=0.5 (Austin unmatched).
+	pred = []gazetteer.CityID{sm, ny}
+	if dp := DP(g, pred, truth, 100); dp != 0.5 {
+		t.Errorf("DP = %f", dp)
+	}
+	if dr := DR(g, pred, truth, 100); dr != 0.5 {
+		t.Errorf("DR = %f", dr)
+	}
+
+	// Degenerate inputs.
+	if DP(g, nil, truth, 100) != 0 {
+		t.Error("empty prediction DP should be 0")
+	}
+	if DR(g, pred, nil, 100) != 0 {
+		t.Error("empty truth DR should be 0")
+	}
+}
+
+func TestMultiLocEvalAverages(t *testing.T) {
+	g := testGaz(t)
+	austin, la, ny := gazetteer.CityID(0), gazetteer.CityID(2), gazetteer.CityID(4)
+	var e MultiLocEval
+	e.Add(g, []gazetteer.CityID{la, austin}, []gazetteer.CityID{la, austin}, 100) // DP=1 DR=1
+	e.Add(g, []gazetteer.CityID{ny, ny}, []gazetteer.CityID{la, austin}, 100)     // DP=0 DR=0
+	if e.N() != 2 {
+		t.Fatalf("N = %d", e.N())
+	}
+	if e.DP() != 0.5 || e.DR() != 0.5 {
+		t.Errorf("DP=%f DR=%f", e.DP(), e.DR())
+	}
+	var empty MultiLocEval
+	if empty.DP() != 0 || empty.DR() != 0 {
+		t.Error("empty MultiLocEval should report 0")
+	}
+}
+
+func TestRelEval(t *testing.T) {
+	var e RelEval
+	e.Add(10, 90)  // worst 90 → hit at 100
+	e.Add(10, 150) // worst 150 → miss at 100
+	e.Add(200, 20) // worst 200 → miss
+	e.AddMissing() // always a miss
+	if e.N() != 4 {
+		t.Fatalf("N = %d", e.N())
+	}
+	if got := e.ACC(100); got != 0.25 {
+		t.Errorf("ACC@100 = %f", got)
+	}
+	if got := e.ACC(175); got != 0.5 {
+		t.Errorf("ACC@175 = %f", got)
+	}
+	var empty RelEval
+	if empty.ACC(100) != 0 {
+		t.Error("empty RelEval should report 0")
+	}
+}
+
+func TestConvergenceTrace(t *testing.T) {
+	var c ConvergenceTrace
+	for _, v := range []float64{0.30, 0.50, 0.58, 0.60, 0.601, 0.6005} {
+		c.Record(v)
+	}
+	changes := c.Changes()
+	want := []float64{0.20, 0.08, 0.02, 0.001, 0.0005}
+	if len(changes) != len(want) {
+		t.Fatalf("changes = %v", changes)
+	}
+	for i := range want {
+		if math.Abs(changes[i]-want[i]) > 1e-9 {
+			t.Errorf("change %d = %f, want %f", i, changes[i], want[i])
+		}
+	}
+	if got := c.ConvergedAt(0.01); got != 4 {
+		t.Errorf("ConvergedAt(0.01) = %d, want 4", got)
+	}
+	if got := c.ConvergedAt(0.5); got != 1 {
+		t.Errorf("ConvergedAt(0.5) = %d, want 1", got)
+	}
+	var short ConvergenceTrace
+	short.Record(1)
+	if short.Changes() != nil || short.ConvergedAt(1) != 0 {
+		t.Error("single-point trace should have no changes")
+	}
+}

@@ -1,0 +1,411 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"mlprofile/internal/dataset"
+	"mlprofile/internal/gazetteer"
+	"mlprofile/internal/powerlaw"
+	"mlprofile/internal/stats"
+)
+
+// aadDistances is the x axis of the Fig. 4 curves (miles).
+var aadDistances = []float64{0, 20, 40, 60, 80, 100, 120, 140}
+
+// fig8Distances is the x axis of Fig. 8 (miles).
+var fig8Distances = []float64{25, 50, 75, 100, 125, 150}
+
+// Fig3a measures following probabilities versus distance on the generated
+// world and fits the power law — the paper's Sec. 4.1 measurement that
+// yields α=−0.55, β=0.0045 on real Twitter.
+func (r *Runner) Fig3a() (*Series, powerlaw.PowerLaw, error) {
+	c := &r.data.Corpus
+	gaz := c.Gaz
+	const (
+		min   = 1.0
+		ratio = 1.5
+		bins  = 22
+	)
+	num, _ := stats.NewLogHistogram(min, ratio, bins)
+	for _, e := range c.Edges {
+		hf, ht := c.Users[e.From].Home, c.Users[e.To].Home
+		if hf == dataset.NoCity || ht == dataset.NoCity {
+			continue
+		}
+		d := gaz.Distance(hf, ht)
+		if d < min {
+			d = min
+		}
+		num.Observe(d)
+	}
+	labeled := c.LabeledUsers()
+	if len(labeled) < 2 {
+		return nil, powerlaw.PowerLaw{}, fmt.Errorf("experiments: no labeled users for Fig 3a")
+	}
+	den, _ := stats.NewLogHistogram(min, ratio, bins)
+	rng := rand.New(rand.NewSource(r.opts.Seed + 31))
+	const samples = 400000
+	scale := float64(len(labeled)) * float64(len(labeled)-1) / samples
+	for i := 0; i < samples; i++ {
+		a := labeled[rng.Intn(len(labeled))]
+		b := labeled[rng.Intn(len(labeled))]
+		if a == b {
+			continue
+		}
+		d := gaz.Distance(c.Users[a].Home, c.Users[b].Home)
+		if d < min {
+			d = min
+		}
+		den.Add(d, scale)
+	}
+	xs, ps, err := num.Ratio(den)
+	if err != nil {
+		return nil, powerlaw.PowerLaw{}, err
+	}
+	var ws []float64
+	for i := 0; i < den.Bins(); i++ {
+		if den.Count(i) > 0 {
+			ws = append(ws, den.Count(i))
+		}
+	}
+	law, r2, err := powerlaw.Fit(xs, ps, ws)
+	if err != nil {
+		return nil, powerlaw.PowerLaw{}, err
+	}
+	s := NewSeries(
+		fmt.Sprintf("Fig 3(a): following probability vs distance — fit %s (R²=%.3f in log-log)", law, r2),
+		"miles", xs, "P(follow)", "fit")
+	for i, x := range xs {
+		s.Set("P(follow)", i, ps[i])
+		s.Set("fit", i, law.Eval(x))
+	}
+	return s, law, nil
+}
+
+// Fig3b tabulates the tweeting probabilities of the top venues at two
+// cities (the paper uses Austin and Los Angeles).
+func (r *Runner) Fig3b() (*Table, error) {
+	c := &r.data.Corpus
+	gaz := c.Gaz
+	cities := []string{"austin, tx", "los angeles, ca"}
+	t := &Table{
+		Title:  "Fig 3(b): tweeting probabilities of top venues by city",
+		Header: []string{"city", "venue", "P(tweet)"},
+	}
+	for _, key := range cities {
+		parts := strings.SplitN(key, ", ", 2)
+		cid, ok := gaz.ResolveInState(parts[0], parts[1])
+		if !ok {
+			continue
+		}
+		center := gaz.City(cid).Point
+		// Users whose home is within 25 miles of the city.
+		counts := map[gazetteer.VenueID]float64{}
+		var total float64
+		for _, tr := range c.Tweets {
+			home := c.Users[tr.User].Home
+			if home == dataset.NoCity {
+				continue
+			}
+			if gaz.Distance(home, cid) > 25 {
+				continue
+			}
+			counts[tr.Venue]++
+			total++
+		}
+		_ = center
+		if total == 0 {
+			continue
+		}
+		type vc struct {
+			v gazetteer.VenueID
+			n float64
+		}
+		var list []vc
+		for v, n := range counts {
+			list = append(list, vc{v, n})
+		}
+		sort.Slice(list, func(i, j int) bool {
+			if list[i].n != list[j].n {
+				return list[i].n > list[j].n
+			}
+			return list[i].v < list[j].v
+		})
+		if len(list) > 5 {
+			list = list[:5]
+		}
+		for _, e := range list {
+			t.AddRow(gaz.City(cid).DisplayName(), c.Venues.Venue(e.v).Name, fmt.Sprintf("%.4f", e.n/total))
+		}
+	}
+	return t, nil
+}
+
+// Table2 reproduces the home location prediction comparison (ACC@100 for
+// the five methods; paper: 52.44 / 49.67 / 58.8 / 55.3 / 62.3).
+func (r *Runner) Table2() (*Table, error) {
+	if err := r.ensureCV(); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Table 2: home location prediction (ACC@100)",
+		Header: append([]string{"Measure"}, Methods...),
+	}
+	row := []string{"ACC@100"}
+	for _, m := range Methods {
+		row = append(row, pct(r.homeEvals[m].ACC(100)))
+	}
+	t.AddRow(row...)
+	return t, nil
+}
+
+// fig4 builds one AAD curve series over the named methods.
+func (r *Runner) fig4(title string, methods ...string) (*Series, error) {
+	if err := r.ensureCV(); err != nil {
+		return nil, err
+	}
+	s := NewSeries(title, "miles", aadDistances, methods...)
+	for _, m := range methods {
+		curve := r.homeEvals[m].Curve(aadDistances)
+		for i := range aadDistances {
+			s.Set(m, i, curve[i])
+		}
+	}
+	return s, nil
+}
+
+// Fig4a is the user-based AAD comparison (MLP_U vs BaseU).
+func (r *Runner) Fig4a() (*Series, error) {
+	return r.fig4("Fig 4(a): accumulative accuracy at distance — user-based", MethodMLPU, MethodBaseU)
+}
+
+// Fig4b is the content-based AAD comparison (MLP_C vs BaseC).
+func (r *Runner) Fig4b() (*Series, error) {
+	return r.fig4("Fig 4(b): accumulative accuracy at distance — content-based", MethodMLPC, MethodBaseC)
+}
+
+// Fig4c is the overall AAD comparison (all five methods).
+func (r *Runner) Fig4c() (*Series, error) {
+	return r.fig4("Fig 4(c): accumulative accuracy at distance — overall", Methods...)
+}
+
+// Fig5 is the convergence trace: the change in test accuracy per Gibbs
+// iteration (paper: converges after ~14 rounds).
+func (r *Runner) Fig5() (*Series, error) {
+	if err := r.ensureCV(); err != nil {
+		return nil, err
+	}
+	changes := r.fig5Trace.Changes()
+	xs := make([]float64, len(changes))
+	for i := range xs {
+		xs[i] = float64(i + 2) // change between iteration i+1 and i+2
+	}
+	conv := r.fig5Trace.ConvergedAt(0.01)
+	s := NewSeries(
+		fmt.Sprintf("Fig 5: accuracy change per iteration (converged at iteration %d, eps=0.01)", conv),
+		"iteration", xs, "|ΔACC@100|")
+	for i, c := range changes {
+		s.Set("|ΔACC@100|", i, c)
+	}
+	return s, nil
+}
+
+// Table3 reproduces the multiple location discovery comparison (DP@2 and
+// DR@2 over multi-location users; paper: MLP 50.6 / 47.0 vs BaseU 33.8 /
+// 27.2 and BaseC 39.3 / 33.1).
+func (r *Runner) Table3() (*Table, error) {
+	if err := r.ensureCV(); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Table 3: multiple location discovery (multi-location users)",
+		Header: append([]string{"Measure"}, Methods...),
+	}
+	dp := []string{"DP@2"}
+	dr := []string{"DR@2"}
+	for _, m := range Methods {
+		dp = append(dp, pct(r.multiEvals[m][1].DP()))
+		dr = append(dr, pct(r.multiEvals[m][1].DR()))
+	}
+	t.AddRow(dp...)
+	t.AddRow(dr...)
+	return t, nil
+}
+
+// Fig6 is DP@K for K=1..3 (paper Fig. 6).
+func (r *Runner) Fig6() (*Series, error) {
+	if err := r.ensureCV(); err != nil {
+		return nil, err
+	}
+	s := NewSeries("Fig 6: distance-based precision at ranks", "K", []float64{1, 2, 3}, Methods...)
+	for _, m := range Methods {
+		for k := 0; k < 3; k++ {
+			s.Set(m, k, r.multiEvals[m][k].DP())
+		}
+	}
+	return s, nil
+}
+
+// Fig7 is DR@K for K=1..3 (paper Fig. 7).
+func (r *Runner) Fig7() (*Series, error) {
+	if err := r.ensureCV(); err != nil {
+		return nil, err
+	}
+	s := NewSeries("Fig 7: distance-based recall at ranks", "K", []float64{1, 2, 3}, Methods...)
+	for _, m := range Methods {
+		for k := 0; k < 3; k++ {
+			s.Set(m, k, r.multiEvals[m][k].DR())
+		}
+	}
+	return s, nil
+}
+
+// Table4 shows multi-location case studies: true locations vs MLP and
+// BaseU top-2 predictions for held-out users (paper Table 4).
+func (r *Runner) Table4() (*Table, error) {
+	if err := r.ensureCV(); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Table 4: case studies on multiple location discovery (fold-0 test users)",
+		Header: []string{"User", "True locations", "MLP top-2", "BaseU top-2"},
+	}
+	gaz := r.data.Corpus.Gaz
+	names := func(ids []gazetteer.CityID) string {
+		var parts []string
+		for _, id := range ids {
+			parts = append(parts, gaz.City(id).DisplayName())
+		}
+		return strings.Join(parts, " / ")
+	}
+	for _, u := range r.pickCaseStudyUsers(3) {
+		t.AddRow(
+			r.data.Corpus.Users[u].Handle,
+			names(r.data.Truth.TrueCities(u)),
+			names(r.fold0MLP.TopK(u, 2)),
+			names(r.fold0BaseU.TopK(u, 2)),
+		)
+	}
+	return t, nil
+}
+
+// Fig8 compares relationship explanation accuracy at several distance
+// thresholds: MLP's sampled assignments vs the home-location baseline
+// (paper: 57% vs 40% at 100 miles).
+func (r *Runner) Fig8() (*Series, error) {
+	mlp, base, err := r.relationshipEvals()
+	if err != nil {
+		return nil, err
+	}
+	s := NewSeries(
+		fmt.Sprintf("Fig 8: relationship explanation accuracy (%d edges)", mlp.N()),
+		"miles", fig8Distances, "MLP", "Base")
+	for i, m := range fig8Distances {
+		s.Set("MLP", i, mlp.ACC(m))
+		s.Set("Base", i, base.ACC(m))
+	}
+	return s, nil
+}
+
+// Table5 shows one user's followers with the location assignments MLP
+// inferred for each following relationship (paper Table 5).
+func (r *Runner) Table5() (*Table, error) {
+	if err := r.ensureFull(); err != nil {
+		return nil, err
+	}
+	c := &r.data.Corpus
+	gaz := c.Gaz
+
+	// Pick the multi-location user with the most eligible follower edges.
+	inEdges := map[dataset.UserID][]int{}
+	for s, e := range c.Edges {
+		if r.relEligible(s) {
+			inEdges[e.To] = append(inEdges[e.To], s)
+		}
+	}
+	var best dataset.UserID = -1
+	bestN := 0
+	for u, ss := range inEdges {
+		if len(r.data.Truth.Profiles[u]) > 1 && len(ss) > bestN {
+			best, bestN = u, len(ss)
+		}
+	}
+	if best < 0 {
+		return nil, fmt.Errorf("experiments: no multi-location user with follower edges")
+	}
+	profile := r.data.Truth.TrueCities(best)
+	var profNames []string
+	for _, id := range profile {
+		profNames = append(profNames, gaz.City(id).DisplayName())
+	}
+	t := &Table{
+		Title: fmt.Sprintf("Table 5: relationship explanations for user %s (true locations: %s)",
+			c.Users[best].Handle, strings.Join(profNames, " / ")),
+		Header: []string{"Follower", "Follower home", "Assign(user)", "Assign(follower)", "Noisy"},
+	}
+	edges := inEdges[best]
+	if len(edges) > 5 {
+		edges = edges[:5]
+	}
+	for _, s := range edges {
+		e := c.Edges[s]
+		exp, _ := r.fullMLP.ExplainEdge(s)
+		t.AddRow(
+			c.Users[e.From].Handle,
+			gaz.City(c.Users[e.From].Home).DisplayName(),
+			gaz.City(exp.Y).DisplayName(),
+			gaz.City(exp.X).DisplayName(),
+			fmt.Sprintf("%v", exp.Noisy),
+		)
+	}
+	return t, nil
+}
+
+// All runs every experiment and concatenates the rendered results — the
+// one-command regeneration of the paper's evaluation section.
+func (r *Runner) All() (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "world: %s\n\n", r.data.Corpus.Stats())
+
+	fig3a, law, err := r.Fig3a()
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "%s\n(paper fit on real Twitter: alpha=-0.55, beta=0.0045)\n\n", fig3a)
+	_ = law
+
+	fig3b, err := r.Fig3b()
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "%s\n", fig3b)
+
+	type step struct {
+		name string
+		run  func() (fmt.Stringer, error)
+	}
+	steps := []step{
+		{"table2", func() (fmt.Stringer, error) { return r.Table2() }},
+		{"fig4a", func() (fmt.Stringer, error) { return r.Fig4a() }},
+		{"fig4b", func() (fmt.Stringer, error) { return r.Fig4b() }},
+		{"fig4c", func() (fmt.Stringer, error) { return r.Fig4c() }},
+		{"fig5", func() (fmt.Stringer, error) { return r.Fig5() }},
+		{"table3", func() (fmt.Stringer, error) { return r.Table3() }},
+		{"fig6", func() (fmt.Stringer, error) { return r.Fig6() }},
+		{"fig7", func() (fmt.Stringer, error) { return r.Fig7() }},
+		{"table4", func() (fmt.Stringer, error) { return r.Table4() }},
+		{"fig8", func() (fmt.Stringer, error) { return r.Fig8() }},
+		{"table5", func() (fmt.Stringer, error) { return r.Table5() }},
+	}
+	for _, st := range steps {
+		out, err := st.run()
+		if err != nil {
+			return "", fmt.Errorf("experiments: %s: %w", st.name, err)
+		}
+		fmt.Fprintf(&b, "%s\n", out)
+	}
+	return b.String(), nil
+}

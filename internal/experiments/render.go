@@ -1,0 +1,105 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (Sec. 5) on a synthetic world: Table 2 and Figure 4
+// (home location prediction), Figure 5 (convergence), Table 3 and Figures
+// 6–7 (multiple location discovery), Figure 8 and Table 5 (relationship
+// explanation), Tables 4–5 (case studies), plus the Section 4 measurement
+// figures 3(a) and 3(b). See DESIGN.md §4 for the experiment index and
+// EXPERIMENTS.md for recorded paper-vs-measured results.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment result with aligned text output.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends one row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// Series is a set of named curves over a shared x axis — the text analogue
+// of one of the paper's figures.
+type Series struct {
+	Title  string
+	XLabel string
+	X      []float64
+	Names  []string             // curve order
+	Y      map[string][]float64 // curve name -> len(X) values
+}
+
+// NewSeries allocates a series with the given curves.
+func NewSeries(title, xlabel string, x []float64, names ...string) *Series {
+	s := &Series{Title: title, XLabel: xlabel, X: x, Names: names, Y: map[string][]float64{}}
+	for _, n := range names {
+		s.Y[n] = make([]float64, len(x))
+	}
+	return s
+}
+
+// Set stores one point of one curve.
+func (s *Series) Set(name string, i int, v float64) { s.Y[name][i] = v }
+
+// String renders the series as an aligned table of points.
+func (s *Series) String() string {
+	t := Table{Title: s.Title, Header: append([]string{s.XLabel}, s.Names...)}
+	for i, x := range s.X {
+		row := []string{trimFloat(x)}
+		for _, n := range s.Names {
+			row = append(row, fmt.Sprintf("%.4f", s.Y[n][i]))
+		}
+		t.AddRow(row...)
+	}
+	return t.String()
+}
+
+func trimFloat(x float64) string {
+	if x == float64(int64(x)) {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	return fmt.Sprintf("%.2f", x)
+}
+
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		Title:  "demo",
+		Header: []string{"method", "ACC"},
+	}
+	tbl.AddRow("BaseU", "52.4%")
+	tbl.AddRow("MLP", "62.3%")
+	out := tbl.String()
+
+	if !strings.HasPrefix(out, "demo\n") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4+0 { // title, header, separator, 2 rows = 5... adjust below
+		// title + header + sep + 2 rows
+	}
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns align: header and rows share the position of the second column.
+	hdrIdx := strings.Index(lines[1], "ACC")
+	rowIdx := strings.Index(lines[3], "52.4%")
+	if hdrIdx != rowIdx {
+		t.Errorf("columns misaligned: header at %d, row at %d\n%s", hdrIdx, rowIdx, out)
+	}
+	if !strings.Contains(lines[2], "---") {
+		t.Errorf("missing separator:\n%s", out)
+	}
+}
+
+func TestTableWideCellsExpandColumns(t *testing.T) {
+	tbl := &Table{Header: []string{"a", "b"}}
+	tbl.AddRow("a-very-long-cell-value", "x")
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	bIdx := strings.Index(lines[0], "b")
+	xIdx := strings.Index(lines[2], "x")
+	if bIdx != xIdx {
+		t.Errorf("wide cell did not expand column:\n%s", out)
+	}
+}
+
+func TestSeriesRendering(t *testing.T) {
+	s := NewSeries("curves", "miles", []float64{0, 100.5}, "MLP", "Base")
+	s.Set("MLP", 0, 0.5)
+	s.Set("MLP", 1, 0.6)
+	s.Set("Base", 0, 0.4)
+	s.Set("Base", 1, 0.45)
+	out := s.String()
+	for _, want := range []string{"curves", "miles", "MLP", "Base", "0.5000", "0.4500", "100.50"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Integer x values print without decimals.
+	if !strings.Contains(out, "\n0 ") && !strings.Contains(out, "0  ") {
+		t.Errorf("integer x not trimmed:\n%s", out)
+	}
+}
+
+func TestTrimFloatAndPct(t *testing.T) {
+	if trimFloat(5) != "5" {
+		t.Errorf("trimFloat(5) = %q", trimFloat(5))
+	}
+	if trimFloat(5.25) != "5.25" {
+		t.Errorf("trimFloat(5.25) = %q", trimFloat(5.25))
+	}
+	if pct(0.623) != "62.3%" {
+		t.Errorf("pct = %q", pct(0.623))
+	}
+}

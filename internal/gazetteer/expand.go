@@ -1,0 +1,138 @@
+package gazetteer
+
+import (
+	"math"
+	"math/rand"
+
+	"mlprofile/internal/geo"
+	"mlprofile/internal/randutil"
+)
+
+// ExpandConfig controls procedural gazetteer growth. The paper's candidate
+// set has ~5000 city-level locations; Expand grows the ~200 real anchors to
+// any such size while keeping geography (towns cluster around metros),
+// heavy-tailed populations and name ambiguity realistic.
+type ExpandConfig struct {
+	// TargetCount is the total number of cities after expansion. Values at
+	// or below len(anchors) return the anchors unchanged.
+	TargetCount int
+	// Seed drives the deterministic generation.
+	Seed int64
+	// AmbiguousFraction is the probability that a generated town reuses an
+	// existing town name in a different state (the "19 Princetons" effect).
+	// Defaults to 0.15 when zero.
+	AmbiguousFraction float64
+}
+
+var namePrefixes = []string{
+	"oak", "cedar", "maple", "river", "lake", "fair", "glen", "mill",
+	"spring", "ash", "elm", "pine", "clear", "west", "north", "east",
+	"south", "new", "mount", "green", "stone", "brook", "crest", "bay",
+	"haven", "sunny", "red", "silver", "gold", "iron", "cooper", "walnut",
+}
+
+var nameSuffixes = []string{
+	"ville", "ton", "burg", "field", "ford", "dale", "wood", "port",
+	"view", "side", " city", " springs", " falls", " grove", " park",
+	" hills", " junction", " creek",
+}
+
+// Expand grows anchors into a full gazetteer-sized city list. Generated
+// towns are placed 4–90 miles from a population-weighted anchor, in the
+// anchor's state, with log-normal populations. The result is valid input
+// for New (no duplicate name+state pairs).
+func Expand(anchors []City, cfg ExpandConfig) []City {
+	out := make([]City, len(anchors))
+	copy(out, anchors)
+	if cfg.TargetCount <= len(out) {
+		return out
+	}
+	ambig := cfg.AmbiguousFraction
+	if ambig <= 0 {
+		ambig = 0.15
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	used := make(map[string]bool, cfg.TargetCount)
+	var namePool []string
+	seenName := make(map[string]bool)
+	for _, c := range out {
+		used[c.Key()] = true
+		if !seenName[c.Name] {
+			seenName[c.Name] = true
+			namePool = append(namePool, c.Name)
+		}
+	}
+
+	weights := make([]float64, len(anchors))
+	for i, c := range anchors {
+		weights[i] = math.Sqrt(float64(c.Population) + 1)
+	}
+	anchorPick, err := randutil.NewAlias(weights)
+	if err != nil {
+		return out // anchors carry no population signal; nothing to expand around
+	}
+
+	for len(out) < cfg.TargetCount {
+		a := anchors[anchorPick.Draw(rng)]
+
+		// Position: uniform bearing, area-uniform radius in [4, 90] miles.
+		bearing := rng.Float64() * 2 * math.Pi
+		r := 4 + 86*math.Sqrt(rng.Float64())
+		lat := a.Point.Lat + (r*math.Cos(bearing))/69.0
+		cosLat := math.Cos(a.Point.Lat * math.Pi / 180)
+		if math.Abs(cosLat) < 0.2 {
+			cosLat = 0.2
+		}
+		lon := a.Point.Lon + (r*math.Sin(bearing))/(69.0*cosLat)
+		p := geo.Point{Lat: lat, Lon: lon}
+		if !p.Valid() {
+			continue
+		}
+
+		// Name: reuse an existing one (ambiguity) or synthesize.
+		var name string
+		if rng.Float64() < ambig && len(namePool) > 0 {
+			name = namePool[rng.Intn(len(namePool))]
+		} else {
+			name = namePrefixes[rng.Intn(len(namePrefixes))] +
+				nameSuffixes[rng.Intn(len(nameSuffixes))]
+		}
+		key := name + ", " + toLowerState(a.State)
+		if used[key] {
+			continue // same name already exists in this state; redraw
+		}
+
+		pop := int(math.Exp(rng.NormFloat64()*1.0 + math.Log(8000)))
+		if pop < 500 {
+			pop = 500
+		}
+		if pop > 95000 {
+			pop = 95000
+		}
+
+		used[key] = true
+		if !seenName[name] {
+			seenName[name] = true
+			namePool = append(namePool, name)
+		}
+		out = append(out, City{Name: name, State: a.State, Point: p, Population: pop})
+	}
+	return out
+}
+
+func toLowerState(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c - 'A' + 'a'
+		}
+	}
+	return string(b)
+}
+
+// BuildDefault constructs a ready-to-use gazetteer with the given total
+// city count and seed: real anchors plus procedural expansion.
+func BuildDefault(targetCount int, seed int64) (*Gazetteer, error) {
+	return New(Expand(USAnchors(), ExpandConfig{TargetCount: targetCount, Seed: seed}))
+}

@@ -1,0 +1,196 @@
+package gazetteer
+
+import (
+	"testing"
+
+	"mlprofile/internal/geo"
+)
+
+func TestExpandReachesTarget(t *testing.T) {
+	cities := Expand(USAnchors(), ExpandConfig{TargetCount: 2000, Seed: 1})
+	if len(cities) != 2000 {
+		t.Fatalf("expanded to %d cities, want 2000", len(cities))
+	}
+	// Result must be valid input for New (no duplicates, valid points).
+	g, err := New(cities)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 2000 {
+		t.Fatalf("gazetteer has %d cities", g.Len())
+	}
+}
+
+func TestExpandDeterministic(t *testing.T) {
+	a := Expand(USAnchors(), ExpandConfig{TargetCount: 500, Seed: 7})
+	b := Expand(USAnchors(), ExpandConfig{TargetCount: 500, Seed: 7})
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].State != b[i].State || a[i].Point != b[i].Point {
+			t.Fatalf("city %d differs between runs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := Expand(USAnchors(), ExpandConfig{TargetCount: 500, Seed: 8})
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical expansions")
+	}
+}
+
+func TestExpandNoOpWhenTargetSmall(t *testing.T) {
+	anchors := USAnchors()
+	got := Expand(anchors, ExpandConfig{TargetCount: 10, Seed: 1})
+	if len(got) != len(anchors) {
+		t.Errorf("small target should return anchors unchanged, got %d", len(got))
+	}
+}
+
+func TestExpandGeneratedTownsClusterAroundAnchors(t *testing.T) {
+	anchors := USAnchors()
+	cities := Expand(anchors, ExpandConfig{TargetCount: 1000, Seed: 3})
+	anchorPts := make([]geo.Point, len(anchors))
+	for i, a := range anchors {
+		anchorPts[i] = a.Point
+	}
+	idx := geo.NewGridIndex(anchorPts, 1.0)
+	for _, c := range cities[len(anchors):] {
+		_, d, ok := idx.Nearest(c.Point)
+		if !ok || d > 95 {
+			t.Fatalf("town %q is %f miles from the nearest anchor", c.Key(), d)
+		}
+		if c.Population < 500 || c.Population > 95000 {
+			t.Fatalf("town %q has implausible population %d", c.Key(), c.Population)
+		}
+	}
+}
+
+func TestExpandCreatesAmbiguity(t *testing.T) {
+	cities := Expand(USAnchors(), ExpandConfig{TargetCount: 3000, Seed: 5, AmbiguousFraction: 0.25})
+	g, err := New(cities)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi := 0
+	for name := range countNames(cities) {
+		if len(g.Resolve(name)) > 1 {
+			multi++
+		}
+	}
+	if multi < 50 {
+		t.Errorf("only %d ambiguous names in a 3000-city gazetteer", multi)
+	}
+}
+
+func countNames(cities []City) map[string]int {
+	m := map[string]int{}
+	for _, c := range cities {
+		m[c.Name]++
+	}
+	return m
+}
+
+func TestBuildDefault(t *testing.T) {
+	g, err := BuildDefault(800, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 800 {
+		t.Fatalf("BuildDefault size = %d", g.Len())
+	}
+	// Anchors survive expansion.
+	if _, ok := g.ResolveInState("austin", "tx"); !ok {
+		t.Error("anchors missing from default build")
+	}
+}
+
+func TestVenueVocab(t *testing.T) {
+	g := mustGazetteer(t)
+	vv := BuildVenueVocab(g)
+
+	if vv.Len() < 150 {
+		t.Fatalf("vocab size %d too small", vv.Len())
+	}
+
+	// Every distinct city name is a venue.
+	id, ok := vv.ID("austin")
+	if !ok {
+		t.Fatal("austin missing from vocabulary")
+	}
+	v := vv.Venue(id)
+	if len(v.Locations) != 1 || g.City(v.Locations[0]).State != "TX" {
+		t.Errorf("austin venue = %+v", v)
+	}
+
+	// Ambiguous names list all senses, population-sorted.
+	pid, ok := vv.ID("princeton")
+	if !ok {
+		t.Fatal("princeton missing")
+	}
+	if len(vv.Venue(pid).Locations) < 5 {
+		t.Errorf("princeton venue has %d senses", len(vv.Venue(pid).Locations))
+	}
+
+	// Landmarks attach to their hosts.
+	hid, ok := vv.ID("hollywood")
+	if !ok {
+		t.Fatal("hollywood missing")
+	}
+	la, _ := g.ResolveInState("los angeles", "ca")
+	if len(vv.Venue(hid).Locations) != 1 || vv.Venue(hid).Locations[0] != la {
+		t.Errorf("hollywood venue = %+v, want [LA]", vv.Venue(hid))
+	}
+
+	// Reverse index: LA hosts its own name plus several landmarks.
+	atLA := vv.VenuesAt(la)
+	if len(atLA) < 3 {
+		t.Errorf("VenuesAt(LA) = %d venues, want >= 3", len(atLA))
+	}
+	foundSelf := false
+	for _, vid := range atLA {
+		if vv.Venue(vid).Name == "los angeles" {
+			foundSelf = true
+		}
+	}
+	if !foundSelf {
+		t.Error("LA's own name missing from VenuesAt")
+	}
+
+	// Unknown lookups fail cleanly.
+	if _, ok := vv.ID("narnia"); ok {
+		t.Error("unknown venue resolved")
+	}
+
+	// Names() round-trips with ID().
+	names := vv.Names()
+	if len(names) != vv.Len() {
+		t.Fatalf("Names length %d != Len %d", len(names), vv.Len())
+	}
+	for i, n := range names {
+		got, ok := vv.ID(n)
+		if !ok || got != VenueID(i) {
+			t.Fatalf("Names/ID mismatch at %d: %q -> %d, %v", i, n, got, ok)
+		}
+	}
+}
+
+func TestVenueVocabDeterministicIDs(t *testing.T) {
+	g := mustGazetteer(t)
+	a := BuildVenueVocab(g)
+	b := BuildVenueVocab(g)
+	if a.Len() != b.Len() {
+		t.Fatal("vocab sizes differ across builds")
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.Venue(VenueID(i)).Name != b.Venue(VenueID(i)).Name {
+			t.Fatalf("venue %d differs across builds", i)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+// Package gazetteer provides the candidate-location universe L of the
+// paper: a database of U.S. city-level locations with coordinates and
+// populations, name resolution (including ambiguous names — there are 19
+// "Princeton"s in the States), registered-location string parsing in the
+// "cityName, stateName" / "cityName, stateAbbreviation" forms of Cheng et
+// al., and the venue vocabulary V extracted from it.
+//
+// The paper uses the Census 2000 U.S. Gazetteer (~5000 city-level
+// locations). We embed ~200 real anchor cities and expand procedurally to
+// any requested size (see Expand), preserving the properties inference
+// cares about: realistic geography, heavy-tailed populations and name
+// ambiguity.
+package gazetteer
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"mlprofile/internal/geo"
+)
+
+// CityID indexes a city within one Gazetteer. IDs are dense, starting at 0.
+type CityID int32
+
+// City is one candidate location: a city-level geo scope.
+type City struct {
+	ID         CityID
+	Name       string // canonical lowercase name, e.g. "los angeles"
+	State      string // two-letter USPS code, e.g. "CA"
+	Point      geo.Point
+	Population int
+}
+
+// Key returns the canonical "name, st" form used for display and parsing
+// round-trips, e.g. "los angeles, ca".
+func (c City) Key() string {
+	return c.Name + ", " + strings.ToLower(c.State)
+}
+
+// DisplayName returns the human form, e.g. "Los Angeles, CA".
+func (c City) DisplayName() string {
+	return titleCase(c.Name) + ", " + c.State
+}
+
+// Gazetteer is an immutable set of cities with name and spatial indexes.
+// It is safe for concurrent readers.
+type Gazetteer struct {
+	cities []City
+	byName map[string][]CityID // lowercase name -> IDs sorted by population desc
+	byKey  map[string]CityID   // "name, st" -> ID
+	index  *geo.GridIndex
+	pop    int64
+}
+
+// New builds a gazetteer from cities. It assigns IDs in slice order and
+// validates that every city has a name, a known point, and that no two
+// cities share the same (name, state).
+func New(cities []City) (*Gazetteer, error) {
+	if len(cities) == 0 {
+		return nil, errors.New("gazetteer: no cities")
+	}
+	g := &Gazetteer{
+		cities: make([]City, len(cities)),
+		byName: make(map[string][]CityID, len(cities)),
+		byKey:  make(map[string]CityID, len(cities)),
+	}
+	pts := make([]geo.Point, len(cities))
+	for i, c := range cities {
+		c.Name = strings.ToLower(strings.TrimSpace(c.Name))
+		c.State = strings.ToUpper(strings.TrimSpace(c.State))
+		if c.Name == "" {
+			return nil, fmt.Errorf("gazetteer: city %d has empty name", i)
+		}
+		if len(c.State) != 2 {
+			return nil, fmt.Errorf("gazetteer: city %q has bad state %q", c.Name, c.State)
+		}
+		if !c.Point.Valid() {
+			return nil, fmt.Errorf("gazetteer: city %q has invalid point %v", c.Name, c.Point)
+		}
+		if c.Population < 0 {
+			return nil, fmt.Errorf("gazetteer: city %q has negative population", c.Name)
+		}
+		c.ID = CityID(i)
+		key := c.Key()
+		if _, dup := g.byKey[key]; dup {
+			return nil, fmt.Errorf("gazetteer: duplicate city %q", key)
+		}
+		g.byKey[key] = c.ID
+		g.byName[c.Name] = append(g.byName[c.Name], c.ID)
+		g.cities[i] = c
+		pts[i] = c.Point
+		g.pop += int64(c.Population)
+	}
+	// Ambiguous names resolve most-populous first, mirroring the common
+	// "default sense" heuristic of gazetteer lookups.
+	for name, ids := range g.byName {
+		sort.Slice(ids, func(a, b int) bool {
+			pa, pb := g.cities[ids[a]].Population, g.cities[ids[b]].Population
+			if pa != pb {
+				return pa > pb
+			}
+			return ids[a] < ids[b]
+		})
+		g.byName[name] = ids
+	}
+	g.index = geo.NewGridIndex(pts, 1.0)
+	return g, nil
+}
+
+// Len returns the number of cities.
+func (g *Gazetteer) Len() int { return len(g.cities) }
+
+// City returns the city with the given ID. It panics on out-of-range IDs,
+// matching slice semantics (IDs only come from this gazetteer).
+func (g *Gazetteer) City(id CityID) City { return g.cities[id] }
+
+// Cities returns the full city list. The returned slice is shared; callers
+// must not modify it.
+func (g *Gazetteer) Cities() []City { return g.cities }
+
+// TotalPopulation returns the sum of all city populations.
+func (g *Gazetteer) TotalPopulation() int64 { return g.pop }
+
+// Resolve returns all cities bearing the (case-insensitive) name, most
+// populous first, or nil if the name is unknown. This is the ambiguity
+// surface of venues: "princeton" resolves to many cities.
+func (g *Gazetteer) Resolve(name string) []CityID {
+	return g.byName[strings.ToLower(strings.TrimSpace(name))]
+}
+
+// ResolveInState returns the city with the given name in the given state.
+func (g *Gazetteer) ResolveInState(name, state string) (CityID, bool) {
+	key := strings.ToLower(strings.TrimSpace(name)) + ", " + strings.ToLower(strings.TrimSpace(state))
+	id, ok := g.byKey[key]
+	return id, ok
+}
+
+// Distance returns the great-circle distance in miles between two cities.
+func (g *Gazetteer) Distance(a, b CityID) float64 {
+	if a == b {
+		return 0
+	}
+	return geo.Miles(g.cities[a].Point, g.cities[b].Point)
+}
+
+// Nearest returns the city closest to p.
+func (g *Gazetteer) Nearest(p geo.Point) (CityID, float64, bool) {
+	id, d, ok := g.index.Nearest(p)
+	return CityID(id), d, ok
+}
+
+// WithinRadius returns all cities within miles of p, closest first.
+func (g *Gazetteer) WithinRadius(p geo.Point, miles float64) []CityID {
+	ids := g.index.WithinRadius(p, miles)
+	out := make([]CityID, len(ids))
+	for i, id := range ids {
+		out[i] = CityID(id)
+	}
+	return out
+}
+
+// titleCase capitalizes each space- or hyphen-separated word. Good enough
+// for city names ("st. louis" -> "St. Louis").
+func titleCase(s string) string {
+	b := []byte(s)
+	up := true
+	for i, c := range b {
+		if up && c >= 'a' && c <= 'z' {
+			b[i] = c - 'a' + 'A'
+		}
+		up = c == ' ' || c == '-'
+	}
+	return string(b)
+}

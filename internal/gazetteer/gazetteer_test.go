@@ -1,0 +1,225 @@
+package gazetteer
+
+import (
+	"testing"
+
+	"mlprofile/internal/geo"
+)
+
+func mustGazetteer(t *testing.T) *Gazetteer {
+	t.Helper()
+	g, err := New(USAnchors())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		cities []City
+	}{
+		{"empty", nil},
+		{"emptyName", []City{{Name: "", State: "TX", Point: geo.Point{Lat: 1, Lon: 1}}}},
+		{"badState", []City{{Name: "x", State: "TEX", Point: geo.Point{Lat: 1, Lon: 1}}}},
+		{"invalidPoint", []City{{Name: "x", State: "TX", Point: geo.Point{Lat: 999, Lon: 0}}}},
+		{"negativePop", []City{{Name: "x", State: "TX", Point: geo.Point{Lat: 1, Lon: 1}, Population: -1}}},
+		{"duplicate", []City{
+			{Name: "x", State: "TX", Point: geo.Point{Lat: 1, Lon: 1}},
+			{Name: "X ", State: "tx", Point: geo.Point{Lat: 2, Lon: 2}},
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := New(c.cities); err == nil {
+				t.Errorf("New(%s) should fail", c.name)
+			}
+		})
+	}
+}
+
+func TestAnchorsLoad(t *testing.T) {
+	g := mustGazetteer(t)
+	if g.Len() < 150 {
+		t.Fatalf("only %d anchor cities", g.Len())
+	}
+	if g.TotalPopulation() < 30_000_000 {
+		t.Errorf("total population %d suspiciously small", g.TotalPopulation())
+	}
+	// IDs are dense and stable.
+	for i, c := range g.Cities() {
+		if int(c.ID) != i {
+			t.Fatalf("city %d has ID %d", i, c.ID)
+		}
+	}
+}
+
+func TestResolveAmbiguity(t *testing.T) {
+	g := mustGazetteer(t)
+
+	ids := g.Resolve("princeton")
+	if len(ids) < 5 {
+		t.Fatalf("princeton should be ambiguous, got %d senses", len(ids))
+	}
+	// Most populous first: Princeton NJ tops our table.
+	if g.City(ids[0]).State != "NJ" {
+		t.Errorf("first princeton sense = %s, want NJ", g.City(ids[0]).State)
+	}
+	for i := 1; i < len(ids); i++ {
+		if g.City(ids[i-1]).Population < g.City(ids[i]).Population {
+			t.Errorf("senses not population-sorted at %d", i)
+		}
+	}
+
+	if got := g.Resolve("  Los Angeles "); len(got) != 1 || g.City(got[0]).State != "CA" {
+		t.Errorf("los angeles resolution broken: %v", got)
+	}
+	if g.Resolve("atlantis") != nil {
+		t.Error("unknown city should resolve to nil")
+	}
+
+	springfields := g.Resolve("springfield")
+	if len(springfields) < 4 {
+		t.Errorf("springfield should have >=4 senses, got %d", len(springfields))
+	}
+}
+
+func TestResolveInState(t *testing.T) {
+	g := mustGazetteer(t)
+	id, ok := g.ResolveInState("austin", "tx")
+	if !ok {
+		t.Fatal("austin, tx not found")
+	}
+	if g.City(id).DisplayName() != "Austin, TX" {
+		t.Errorf("DisplayName = %q", g.City(id).DisplayName())
+	}
+	if _, ok := g.ResolveInState("austin", "ny"); ok {
+		t.Error("austin, ny should not exist")
+	}
+}
+
+func TestDistance(t *testing.T) {
+	g := mustGazetteer(t)
+	la, _ := g.ResolveInState("los angeles", "ca")
+	ny, _ := g.ResolveInState("new york", "ny")
+	austin, _ := g.ResolveInState("austin", "tx")
+
+	if d := g.Distance(la, ny); d < 2400 || d > 2500 {
+		t.Errorf("LA-NY = %f miles", d)
+	}
+	if d := g.Distance(austin, austin); d != 0 {
+		t.Errorf("self distance = %f", d)
+	}
+	if g.Distance(la, ny) != g.Distance(ny, la) {
+		t.Error("distance not symmetric")
+	}
+}
+
+func TestNearestAndRadius(t *testing.T) {
+	g := mustGazetteer(t)
+	// A point in Hollywood should be nearest to LA (or a close neighbor).
+	id, d, ok := g.Nearest(geo.Point{Lat: 34.0928, Lon: -118.3287})
+	if !ok {
+		t.Fatal("no nearest city")
+	}
+	if d > 20 {
+		t.Errorf("nearest city %s is %f miles away", g.City(id).Key(), d)
+	}
+
+	la, _ := g.ResolveInState("los angeles", "ca")
+	within := g.WithinRadius(g.City(la).Point, 40)
+	found := map[string]bool{}
+	for _, cid := range within {
+		found[g.City(cid).Key()] = true
+	}
+	for _, want := range []string{"los angeles, ca", "santa monica, ca", "beverly hills, ca", "glendale, ca"} {
+		if !found[want] {
+			t.Errorf("%s missing from 40-mile LA radius", want)
+		}
+	}
+	if found["san francisco, ca"] {
+		t.Error("san francisco should not be within 40 miles of LA")
+	}
+}
+
+func TestKeyAndDisplayName(t *testing.T) {
+	c := City{Name: "st. louis", State: "MO"}
+	if c.Key() != "st. louis, mo" {
+		t.Errorf("Key = %q", c.Key())
+	}
+	if c.DisplayName() != "St. Louis, MO" {
+		t.Errorf("DisplayName = %q", c.DisplayName())
+	}
+	c2 := City{Name: "winston-salem", State: "NC"}
+	if c2.DisplayName() != "Winston-Salem, NC" {
+		t.Errorf("DisplayName = %q", c2.DisplayName())
+	}
+}
+
+func TestParseRegisteredLocation(t *testing.T) {
+	g := mustGazetteer(t)
+	cases := []struct {
+		in   string
+		want string // expected key, "" for rejection
+	}{
+		{"Los Angeles, CA", "los angeles, ca"},
+		{"los angeles, california", "los angeles, ca"},
+		{"  AUSTIN , TX ", "austin, tx"},
+		{"Princeton, NJ", "princeton, nj"},
+		{"Princeton, WV", "princeton, wv"},
+		{"New York, New York", "new york, ny"},
+		{"my home", ""},
+		{"", ""},
+		{"CA", ""},
+		{"California", ""},
+		{"somewhere, XX", ""},
+		{"atlantis, tx", ""},
+		{",TX", ""},
+		{"austin,", ""},
+		{"austin texas", ""}, // no comma → rejected per the extraction rules
+	}
+	for _, c := range cases {
+		id, ok := g.ParseRegisteredLocation(c.in)
+		if c.want == "" {
+			if ok {
+				t.Errorf("ParseRegisteredLocation(%q) accepted as %s", c.in, g.City(id).Key())
+			}
+			continue
+		}
+		if !ok {
+			t.Errorf("ParseRegisteredLocation(%q) rejected", c.in)
+			continue
+		}
+		if got := g.City(id).Key(); got != c.want {
+			t.Errorf("ParseRegisteredLocation(%q) = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+func TestIsStateName(t *testing.T) {
+	for _, s := range []string{"CA", "ca", "california", "New York", "dc"} {
+		if !IsStateName(s) {
+			t.Errorf("IsStateName(%q) = false", s)
+		}
+	}
+	for _, s := range []string{"los angeles", "XX", "", "cal"} {
+		if IsStateName(s) {
+			t.Errorf("IsStateName(%q) = true", s)
+		}
+	}
+}
+
+func TestTitleCase(t *testing.T) {
+	cases := map[string]string{
+		"austin":        "Austin",
+		"new york":      "New York",
+		"winston-salem": "Winston-Salem",
+		"st. louis":     "St. Louis",
+	}
+	for in, want := range cases {
+		if got := titleCase(in); got != want {
+			t.Errorf("titleCase(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

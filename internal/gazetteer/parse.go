@@ -1,0 +1,51 @@
+package gazetteer
+
+import "strings"
+
+// ParseRegisteredLocation applies the extraction rules of Cheng et al.
+// (CIKM'10) that the paper reuses for labeled users (Sec. 5, Data
+// Collection): a registered profile location counts as a city-level label
+// only when it has the form "cityName, stateName" or
+// "cityName, stateAbbreviation" and the city exists in the gazetteer.
+//
+// Everything else — nonsensical ("my home"), general ("CA"), blank, or
+// unknown cities — returns ok=false, exactly the cases the paper discards.
+func (g *Gazetteer) ParseRegisteredLocation(s string) (CityID, bool) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if s == "" {
+		return 0, false
+	}
+	comma := strings.LastIndex(s, ",")
+	if comma < 0 {
+		return 0, false // no "city, state" structure
+	}
+	cityPart := strings.TrimSpace(s[:comma])
+	statePart := strings.TrimSpace(s[comma+1:])
+	if cityPart == "" || statePart == "" {
+		return 0, false
+	}
+
+	var state string
+	switch {
+	case len(statePart) == 2 && stateCodes[strings.ToUpper(statePart)]:
+		state = strings.ToUpper(statePart)
+	default:
+		code, ok := stateNames[statePart]
+		if !ok {
+			return 0, false
+		}
+		state = code
+	}
+	id, ok := g.ResolveInState(cityPart, state)
+	return id, ok
+}
+
+// IsStateName reports whether s (case-insensitive) is a full state name or
+// a USPS state code — the "general" registered locations the paper rejects.
+func IsStateName(s string) bool {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if _, ok := stateNames[s]; ok {
+		return true
+	}
+	return len(s) == 2 && stateCodes[strings.ToUpper(s)]
+}

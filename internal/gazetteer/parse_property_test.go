@@ -1,0 +1,88 @@
+package gazetteer
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseRoundTripProperty: every city's Key and DisplayName forms parse
+// back to that exact city, across an expanded gazetteer.
+func TestParseRoundTripProperty(t *testing.T) {
+	g, err := BuildDefault(1500, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cities := g.Cities()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := cities[rng.Intn(len(cities))]
+		for _, form := range []string{
+			c.Key(),
+			c.DisplayName(),
+			strings.ToUpper(c.Key()),
+			"  " + c.DisplayName() + "  ",
+		} {
+			id, ok := g.ParseRegisteredLocation(form)
+			if !ok || id != c.ID {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseNeverPanicsProperty: arbitrary junk strings never panic and
+// never resolve to a city unless they genuinely match one.
+func TestParseNeverPanicsProperty(t *testing.T) {
+	g, err := BuildDefault(400, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(s string) bool {
+		id, ok := g.ParseRegisteredLocation(s)
+		if !ok {
+			return true
+		}
+		// A positive parse must point at a real city whose name appears
+		// (case-insensitively) in the input.
+		c := g.City(id)
+		return strings.Contains(strings.ToLower(s), c.Name)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestResolveConsistencyProperty: Resolve(name) lists exactly the cities
+// bearing that name, and ResolveInState agrees with it.
+func TestResolveConsistencyProperty(t *testing.T) {
+	g, err := BuildDefault(1200, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]int{}
+	for _, c := range g.Cities() {
+		byName[c.Name]++
+	}
+	for name, n := range byName {
+		ids := g.Resolve(name)
+		if len(ids) != n {
+			t.Fatalf("Resolve(%q) = %d senses, want %d", name, len(ids), n)
+		}
+		for _, id := range ids {
+			c := g.City(id)
+			if c.Name != name {
+				t.Fatalf("Resolve(%q) returned %q", name, c.Name)
+			}
+			got, ok := g.ResolveInState(name, c.State)
+			if !ok || got != id {
+				t.Fatalf("ResolveInState(%q, %q) = %d, %v; want %d", name, c.State, got, ok, id)
+			}
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package gazetteer
+
+import (
+	"sort"
+	"strings"
+)
+
+// VenueID indexes a venue name within one VenueVocab.
+type VenueID int32
+
+// Venue is one venue *name* — a geo signal users tweet. A single name may
+// refer to several locations ("princeton" → many cities); Locations lists
+// them most-populous first.
+type Venue struct {
+	Name      string
+	Locations []CityID
+}
+
+// VenueVocab is the venue vocabulary V of the paper: every distinct city
+// name in the gazetteer plus a set of well-known landmarks attached to
+// their host cities ("hollywood" → Los Angeles). Immutable after build.
+type VenueVocab struct {
+	venues []Venue
+	byName map[string]VenueID
+	byCity map[CityID][]VenueID
+}
+
+// landmarks maps landmark venue names to the "name, st" key of the city
+// they belong to. Only landmarks whose host city exists in the gazetteer
+// are included in the vocabulary.
+var landmarks = map[string]string{
+	"hollywood":         "los angeles, ca",
+	"venice beach":      "los angeles, ca",
+	"times square":      "new york, ny",
+	"brooklyn":          "new york, ny",
+	"manhattan":         "new york, ny",
+	"harlem":            "new york, ny",
+	"wall street":       "new york, ny",
+	"golden gate":       "san francisco, ca",
+	"fishermans wharf":  "san francisco, ca",
+	"french quarter":    "new orleans, la",
+	"bourbon street":    "new orleans, la",
+	"south beach":       "miami, fl",
+	"navy pier":         "chicago, il",
+	"wrigleyville":      "chicago, il",
+	"the strip":         "las vegas, nv",
+	"sixth street":      "austin, tx",
+	"capitol hill":      "seattle, wa",
+	"pike place":        "seattle, wa",
+	"fenway":            "boston, ma",
+	"faneuil hall":      "boston, ma",
+	"beale street":      "memphis, tn",
+	"music row":         "nashville, tn",
+	"river walk":        "san antonio, tx",
+	"waikiki":           "honolulu, hi",
+	"inner harbor":      "baltimore, md",
+	"liberty bell":      "philadelphia, pa",
+	"gaslamp quarter":   "san diego, ca",
+	"magnificent mile":  "chicago, il",
+	"mission district":  "san francisco, ca",
+	"georgetown square": "washington, dc",
+}
+
+// BuildVenueVocab derives the venue vocabulary from a gazetteer. Venue IDs
+// are stable for a given gazetteer (names are sorted before assignment).
+func BuildVenueVocab(g *Gazetteer) *VenueVocab {
+	nameSet := make(map[string][]CityID)
+	for _, c := range g.Cities() {
+		if _, seen := nameSet[c.Name]; !seen {
+			// Resolve returns all cities with this name, population-sorted.
+			ids := g.Resolve(c.Name)
+			nameSet[c.Name] = append([]CityID(nil), ids...)
+		}
+	}
+	for lm, hostKey := range landmarks {
+		parts := strings.SplitN(hostKey, ", ", 2)
+		id, ok := g.ResolveInState(parts[0], parts[1])
+		if !ok {
+			continue
+		}
+		if _, exists := nameSet[lm]; !exists {
+			nameSet[lm] = []CityID{id}
+		}
+	}
+
+	names := make([]string, 0, len(nameSet))
+	for n := range nameSet {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	vv := &VenueVocab{
+		venues: make([]Venue, len(names)),
+		byName: make(map[string]VenueID, len(names)),
+		byCity: make(map[CityID][]VenueID),
+	}
+	for i, n := range names {
+		id := VenueID(i)
+		vv.venues[i] = Venue{Name: n, Locations: nameSet[n]}
+		vv.byName[n] = id
+		for _, cid := range nameSet[n] {
+			vv.byCity[cid] = append(vv.byCity[cid], id)
+		}
+	}
+	return vv
+}
+
+// Len returns the vocabulary size |V|.
+func (vv *VenueVocab) Len() int { return len(vv.venues) }
+
+// Venue returns the venue with the given ID.
+func (vv *VenueVocab) Venue(id VenueID) Venue { return vv.venues[id] }
+
+// ID looks a venue up by (case-insensitive) name.
+func (vv *VenueVocab) ID(name string) (VenueID, bool) {
+	id, ok := vv.byName[strings.ToLower(strings.TrimSpace(name))]
+	return id, ok
+}
+
+// VenuesAt returns the venues that can refer to the given city: its own
+// name plus any landmarks hosted there. The returned slice is shared;
+// callers must not modify it.
+func (vv *VenueVocab) VenuesAt(city CityID) []VenueID { return vv.byCity[city] }
+
+// Names returns all venue names in ID order. The slice is freshly
+// allocated.
+func (vv *VenueVocab) Names() []string {
+	out := make([]string, len(vv.venues))
+	for i, v := range vv.venues {
+		out[i] = v.Name
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package geo
+
+import (
+	"math"
+	"sort"
+)
+
+// GridIndex is a uniform lat/lon grid over a point set supporting radius and
+// nearest-neighbour queries. Cells are square in degrees; queries expand the
+// candidate ring until the great-circle bound is satisfied, so results are
+// exact even though the grid is built in degree space.
+//
+// The index stores int32 IDs supplied by the caller (typically location IDs
+// into a gazetteer). It is immutable after Build and safe for concurrent
+// readers.
+type GridIndex struct {
+	cellDeg float64
+	cells   map[cellKey][]int32
+	pts     []Point // indexed by the caller's ID
+}
+
+type cellKey struct{ row, col int32 }
+
+// NewGridIndex builds an index over pts, where the i-th entry's ID is i.
+// cellDeg is the cell size in degrees; 1.0 (~69 miles of latitude) is a good
+// default for city-scale data. Invalid points are skipped.
+func NewGridIndex(pts []Point, cellDeg float64) *GridIndex {
+	if cellDeg <= 0 {
+		cellDeg = 1.0
+	}
+	g := &GridIndex{
+		cellDeg: cellDeg,
+		cells:   make(map[cellKey][]int32),
+		pts:     pts,
+	}
+	for i, p := range pts {
+		if !p.Valid() {
+			continue
+		}
+		k := g.key(p)
+		g.cells[k] = append(g.cells[k], int32(i))
+	}
+	return g
+}
+
+func (g *GridIndex) key(p Point) cellKey {
+	return cellKey{
+		row: int32(math.Floor(p.Lat / g.cellDeg)),
+		col: int32(math.Floor(p.Lon / g.cellDeg)),
+	}
+}
+
+// Len returns the number of points the index was built over
+// (including invalid points that were skipped at insert time).
+func (g *GridIndex) Len() int { return len(g.pts) }
+
+// Point returns the point stored for the given ID.
+func (g *GridIndex) Point(id int32) Point { return g.pts[id] }
+
+// WithinRadius returns the IDs of all points within radiusMiles of center,
+// sorted by ascending distance. The center itself is included when its
+// distance is within the radius.
+func (g *GridIndex) WithinRadius(center Point, radiusMiles float64) []int32 {
+	if radiusMiles < 0 || !center.Valid() {
+		return nil
+	}
+	// Convert the radius to a conservative ring of cells. One degree of
+	// latitude is ~69 miles everywhere; longitude shrinks with cos(lat), so
+	// widen the column span accordingly.
+	latDegrees := radiusMiles/69.0 + g.cellDeg
+	cosLat := math.Cos(deg2rad(center.Lat))
+	if cosLat < 0.1 {
+		cosLat = 0.1 // near the poles scan a wide band rather than wrap
+	}
+	lonDegrees := radiusMiles/(69.0*cosLat) + g.cellDeg
+
+	rowSpan := int32(math.Ceil(latDegrees / g.cellDeg))
+	colSpan := int32(math.Ceil(lonDegrees / g.cellDeg))
+	ck := g.key(center)
+
+	type hit struct {
+		id int32
+		d  float64
+	}
+	var hits []hit
+	for r := ck.row - rowSpan; r <= ck.row+rowSpan; r++ {
+		for c := ck.col - colSpan; c <= ck.col+colSpan; c++ {
+			for _, id := range g.cells[cellKey{r, c}] {
+				d := Miles(center, g.pts[id])
+				if d <= radiusMiles {
+					hits = append(hits, hit{id, d})
+				}
+			}
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].d != hits[j].d {
+			return hits[i].d < hits[j].d
+		}
+		return hits[i].id < hits[j].id
+	})
+	out := make([]int32, len(hits))
+	for i, h := range hits {
+		out[i] = h.id
+	}
+	return out
+}
+
+// Nearest returns the ID of the point closest to center and its distance in
+// miles. ok is false when the index is empty or center is invalid.
+func (g *GridIndex) Nearest(center Point) (id int32, miles float64, ok bool) {
+	if len(g.cells) == 0 || !center.Valid() {
+		return 0, 0, false
+	}
+	// Expand the search radius geometrically until something is found, then
+	// do one final pass at the found distance to guarantee exactness.
+	for radius := 25.0; ; radius *= 2 {
+		ids := g.WithinRadius(center, radius)
+		if len(ids) > 0 {
+			best := ids[0]
+			return best, Miles(center, g.pts[best]), true
+		}
+		if radius > 2*math.Pi*EarthRadiusMiles {
+			return 0, 0, false
+		}
+	}
+}

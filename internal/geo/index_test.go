@@ -1,0 +1,172 @@
+package geo
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func testPoints() []Point {
+	return []Point{
+		newYork,                        // 0
+		losAngeles,                     // 1
+		chicago,                        // 2
+		austin,                         // 3
+		houston,                        // 4
+		{Lat: 34.0195, Lon: -118.4912}, // 5 Santa Monica (~15 mi from LA)
+		{Lat: 40.6892, Lon: -74.0445},  // 6 Jersey City side of the Hudson
+	}
+}
+
+func TestGridIndexWithinRadius(t *testing.T) {
+	g := NewGridIndex(testPoints(), 1.0)
+
+	t.Run("tightRadiusAroundLA", func(t *testing.T) {
+		got := g.WithinRadius(losAngeles, 30)
+		want := []int32{1, 5}
+		if !equalIDs(got, want) {
+			t.Errorf("WithinRadius(LA,30) = %v, want %v", got, want)
+		}
+	})
+	t.Run("midRadiusAroundAustin", func(t *testing.T) {
+		got := g.WithinRadius(austin, 200)
+		want := []int32{3, 4}
+		if !equalIDs(got, want) {
+			t.Errorf("WithinRadius(Austin,200) = %v, want %v", got, want)
+		}
+	})
+	t.Run("zeroRadius", func(t *testing.T) {
+		got := g.WithinRadius(austin, 0)
+		want := []int32{3}
+		if !equalIDs(got, want) {
+			t.Errorf("WithinRadius(Austin,0) = %v, want %v", got, want)
+		}
+	})
+	t.Run("negativeRadius", func(t *testing.T) {
+		if got := g.WithinRadius(austin, -1); got != nil {
+			t.Errorf("negative radius should return nil, got %v", got)
+		}
+	})
+	t.Run("sortedByDistance", func(t *testing.T) {
+		got := g.WithinRadius(newYork, 3000)
+		if !sort.SliceIsSorted(got, func(i, j int) bool {
+			return Miles(newYork, g.Point(got[i])) <= Miles(newYork, g.Point(got[j]))
+		}) {
+			t.Errorf("results not sorted by distance: %v", got)
+		}
+		if len(got) != len(testPoints()) {
+			t.Errorf("3000-mile radius from NY should cover all %d points, got %d",
+				len(testPoints()), len(got))
+		}
+	})
+}
+
+func TestGridIndexNearest(t *testing.T) {
+	g := NewGridIndex(testPoints(), 1.0)
+	// Querying from a point near Long Beach should find LA or Santa Monica.
+	id, d, ok := g.Nearest(Point{Lat: 33.77, Lon: -118.19})
+	if !ok {
+		t.Fatal("Nearest returned !ok")
+	}
+	if id != 1 && id != 5 {
+		t.Errorf("Nearest = id %d, want LA(1) or Santa Monica(5)", id)
+	}
+	if d > 30 {
+		t.Errorf("nearest distance %f too large", d)
+	}
+
+	if _, _, ok := NewGridIndex(nil, 1.0).Nearest(austin); ok {
+		t.Error("Nearest on empty index should return !ok")
+	}
+}
+
+// TestGridIndexMatchesBruteForce cross-checks the grid against an O(n) scan
+// on random data — the index must be exact, not approximate.
+func TestGridIndexMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n = 500
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{
+			Lat: rng.Float64()*50 + 24,  // continental US-ish latitudes
+			Lon: rng.Float64()*58 - 125, // and longitudes
+		}
+	}
+	g := NewGridIndex(pts, 1.0)
+
+	for trial := 0; trial < 25; trial++ {
+		center := pts[rng.Intn(n)]
+		radius := rng.Float64() * 500
+
+		got := g.WithinRadius(center, radius)
+		var want []int32
+		for i, p := range pts {
+			if Miles(center, p) <= radius {
+				want = append(want, int32(i))
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: grid found %d, brute force %d (center=%v r=%.1f)",
+				trial, len(got), len(want), center, radius)
+		}
+		gotSet := make(map[int32]bool, len(got))
+		for _, id := range got {
+			gotSet[id] = true
+		}
+		for _, id := range want {
+			if !gotSet[id] {
+				t.Fatalf("trial %d: grid missed id %d", trial, id)
+			}
+		}
+
+		// Nearest must agree with brute force too.
+		nid, nd, ok := g.Nearest(center)
+		if !ok {
+			t.Fatal("Nearest !ok on populated index")
+		}
+		bestD := Miles(center, pts[0])
+		for _, p := range pts[1:] {
+			if d := Miles(center, p); d < bestD {
+				bestD = d
+			}
+		}
+		if nd-bestD > 1e-6 {
+			t.Fatalf("trial %d: Nearest=%.4f (id %d), brute force %.4f", trial, nd, nid, bestD)
+		}
+	}
+}
+
+func TestGridIndexSkipsInvalidPoints(t *testing.T) {
+	pts := []Point{austin, {Lat: 999, Lon: 999}}
+	g := NewGridIndex(pts, 1.0)
+	got := g.WithinRadius(austin, 25000)
+	if !equalIDs(got, []int32{0}) {
+		t.Errorf("invalid point leaked into results: %v", got)
+	}
+}
+
+func TestGridIndexDefaultCell(t *testing.T) {
+	g := NewGridIndex(testPoints(), 0) // non-positive cell size falls back
+	if got := g.WithinRadius(austin, 200); !equalIDs(got, []int32{3, 4}) {
+		t.Errorf("default cell size query = %v", got)
+	}
+	if g.Len() != len(testPoints()) {
+		t.Errorf("Len = %d", g.Len())
+	}
+}
+
+func equalIDs(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]int32(nil), a...)
+	bs := append([]int32(nil), b...)
+	sort.Slice(as, func(i, j int) bool { return as[i] < as[j] })
+	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,103 @@
+// Package geo provides the small amount of spherical geometry the location
+// profiling stack needs: points on the Earth expressed in degrees,
+// great-circle distances in miles, centroids, and a uniform grid index for
+// radius and nearest-neighbour queries over large point sets.
+//
+// Distances are always in statute miles, matching the paper's measures
+// (ACC@m, DP/DR thresholds and the power-law fit all use miles).
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// EarthRadiusMiles is the mean Earth radius in statute miles, the constant
+// used for all great-circle computations in this repository.
+const EarthRadiusMiles = 3958.7613
+
+// Point is a position on the Earth's surface in decimal degrees.
+// Latitude is positive north, longitude positive east.
+type Point struct {
+	Lat float64
+	Lon float64
+}
+
+// String formats the point as "lat,lon" with 4 decimal places,
+// enough for ~36 feet of precision.
+func (p Point) String() string {
+	return fmt.Sprintf("%.4f,%.4f", p.Lat, p.Lon)
+}
+
+// Valid reports whether the point lies in the usual coordinate ranges
+// (|lat| <= 90, |lon| <= 180) and contains no NaN or infinity.
+func (p Point) Valid() bool {
+	if math.IsNaN(p.Lat) || math.IsNaN(p.Lon) || math.IsInf(p.Lat, 0) || math.IsInf(p.Lon, 0) {
+		return false
+	}
+	return p.Lat >= -90 && p.Lat <= 90 && p.Lon >= -180 && p.Lon <= 180
+}
+
+// deg2rad converts degrees to radians.
+func deg2rad(d float64) float64 { return d * math.Pi / 180 }
+
+// Miles returns the great-circle (haversine) distance between p and q in
+// statute miles. It is symmetric, non-negative and zero iff p == q
+// (up to floating point).
+func Miles(p, q Point) float64 {
+	if p == q {
+		return 0
+	}
+	lat1 := deg2rad(p.Lat)
+	lat2 := deg2rad(q.Lat)
+	dLat := lat2 - lat1
+	dLon := deg2rad(q.Lon - p.Lon)
+
+	sinLat := math.Sin(dLat / 2)
+	sinLon := math.Sin(dLon / 2)
+	h := sinLat*sinLat + math.Cos(lat1)*math.Cos(lat2)*sinLon*sinLon
+	if h > 1 {
+		h = 1 // guard against floating point creep before Asin
+	}
+	return 2 * EarthRadiusMiles * math.Asin(math.Sqrt(h))
+}
+
+// Centroid returns the spherical centroid of the points (the normalized mean
+// of their 3D unit vectors projected back to the sphere). It returns the
+// zero Point and false when pts is empty or the points cancel out exactly
+// (e.g. two antipodes).
+func Centroid(pts []Point) (Point, bool) {
+	if len(pts) == 0 {
+		return Point{}, false
+	}
+	var x, y, z float64
+	for _, p := range pts {
+		lat := deg2rad(p.Lat)
+		lon := deg2rad(p.Lon)
+		x += math.Cos(lat) * math.Cos(lon)
+		y += math.Cos(lat) * math.Sin(lon)
+		z += math.Sin(lat)
+	}
+	n := float64(len(pts))
+	x, y, z = x/n, y/n, z/n
+	norm := math.Sqrt(x*x + y*y + z*z)
+	if norm < 1e-12 {
+		return Point{}, false
+	}
+	lat := math.Asin(z / norm)
+	lon := math.Atan2(y, x)
+	return Point{Lat: lat * 180 / math.Pi, Lon: lon * 180 / math.Pi}, true
+}
+
+// MeanDistance returns the average great-circle distance in miles from
+// center to each point. It returns 0 for an empty slice.
+func MeanDistance(center Point, pts []Point) float64 {
+	if len(pts) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range pts {
+		sum += Miles(center, p)
+	}
+	return sum / float64(len(pts))
+}

@@ -1,0 +1,177 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Reference cities used across the distance tests.
+var (
+	newYork    = Point{Lat: 40.7128, Lon: -74.0060}
+	losAngeles = Point{Lat: 34.0522, Lon: -118.2437}
+	chicago    = Point{Lat: 41.8781, Lon: -87.6298}
+	austin     = Point{Lat: 30.2672, Lon: -97.7431}
+	houston    = Point{Lat: 29.7604, Lon: -95.3698}
+	london     = Point{Lat: 51.5074, Lon: -0.1278}
+)
+
+func TestMilesKnownDistances(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b Point
+		want float64 // miles
+		tol  float64
+	}{
+		{"NewYork-LosAngeles", newYork, losAngeles, 2445, 15},
+		{"NewYork-Chicago", newYork, chicago, 713, 10},
+		{"Austin-Houston", austin, houston, 146, 5},
+		{"NewYork-London", newYork, london, 3461, 20},
+		{"identical", austin, austin, 0, 1e-9},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := Miles(c.a, c.b)
+			if math.Abs(got-c.want) > c.tol {
+				t.Errorf("Miles(%v,%v) = %.2f, want %.0f±%.0f", c.a, c.b, got, c.want, c.tol)
+			}
+		})
+	}
+}
+
+func TestMilesSymmetryProperty(t *testing.T) {
+	f := func(lat1, lon1, lat2, lon2 float64) bool {
+		p := clampPoint(lat1, lon1)
+		q := clampPoint(lat2, lon2)
+		d1 := Miles(p, q)
+		d2 := Miles(q, p)
+		return math.Abs(d1-d2) < 1e-6 && d1 >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMilesTriangleInequalityProperty(t *testing.T) {
+	f := func(a1, o1, a2, o2, a3, o3 float64) bool {
+		p := clampPoint(a1, o1)
+		q := clampPoint(a2, o2)
+		r := clampPoint(a3, o3)
+		// Great-circle distance is a metric; allow a small epsilon for
+		// floating point noise on near-degenerate triangles.
+		return Miles(p, r) <= Miles(p, q)+Miles(q, r)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMilesBounds(t *testing.T) {
+	// No two points on Earth are farther apart than half the circumference.
+	maxDist := math.Pi * EarthRadiusMiles
+	f := func(a1, o1, a2, o2 float64) bool {
+		d := Miles(clampPoint(a1, o1), clampPoint(a2, o2))
+		return d >= 0 && d <= maxDist+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPointValid(t *testing.T) {
+	valid := []Point{{0, 0}, {90, 180}, {-90, -180}, austin}
+	for _, p := range valid {
+		if !p.Valid() {
+			t.Errorf("%v should be valid", p)
+		}
+	}
+	invalid := []Point{
+		{91, 0}, {-91, 0}, {0, 181}, {0, -181},
+		{math.NaN(), 0}, {0, math.NaN()}, {math.Inf(1), 0},
+	}
+	for _, p := range invalid {
+		if p.Valid() {
+			t.Errorf("%v should be invalid", p)
+		}
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		if _, ok := Centroid(nil); ok {
+			t.Error("centroid of empty set should not exist")
+		}
+	})
+	t.Run("single", func(t *testing.T) {
+		c, ok := Centroid([]Point{austin})
+		if !ok || Miles(c, austin) > 0.01 {
+			t.Errorf("centroid of {austin} = %v, ok=%v", c, ok)
+		}
+	})
+	t.Run("pairMidpoint", func(t *testing.T) {
+		c, ok := Centroid([]Point{newYork, chicago})
+		if !ok {
+			t.Fatal("no centroid")
+		}
+		// The centroid must be roughly equidistant from both endpoints and
+		// much closer to each than they are to each other.
+		dn, dc := Miles(c, newYork), Miles(c, chicago)
+		if math.Abs(dn-dc) > 5 {
+			t.Errorf("centroid not equidistant: %f vs %f", dn, dc)
+		}
+		if dn > Miles(newYork, chicago) {
+			t.Errorf("centroid farther than endpoints: %f", dn)
+		}
+	})
+	t.Run("antipodes", func(t *testing.T) {
+		if _, ok := Centroid([]Point{{0, 0}, {0, 180}}); ok {
+			t.Error("antipodal centroid should not exist")
+		}
+	})
+}
+
+func TestCentroidContainment(t *testing.T) {
+	// For clustered points, the centroid stays within the cluster's radius.
+	pts := []Point{austin, houston, {Lat: 29.4241, Lon: -98.4936}} // + San Antonio
+	c, ok := Centroid(pts)
+	if !ok {
+		t.Fatal("no centroid")
+	}
+	for _, p := range pts {
+		if Miles(c, p) > 200 {
+			t.Errorf("centroid %v too far from %v: %f miles", c, p, Miles(c, p))
+		}
+	}
+}
+
+func TestMeanDistance(t *testing.T) {
+	if got := MeanDistance(austin, nil); got != 0 {
+		t.Errorf("mean distance of empty set = %f, want 0", got)
+	}
+	got := MeanDistance(austin, []Point{austin, houston})
+	want := Miles(austin, houston) / 2
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("MeanDistance = %f, want %f", got, want)
+	}
+}
+
+func TestPointString(t *testing.T) {
+	got := Point{Lat: 30.26715, Lon: -97.74306}.String()
+	if got != "30.2672,-97.7431" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+// clampPoint maps arbitrary float pairs into valid coordinate ranges so
+// property tests exercise the full sphere without invalid inputs.
+func clampPoint(lat, lon float64) Point {
+	if math.IsNaN(lat) || math.IsInf(lat, 0) {
+		lat = 0
+	}
+	if math.IsNaN(lon) || math.IsInf(lon, 0) {
+		lon = 0
+	}
+	lat = math.Mod(lat, 90)
+	lon = math.Mod(lon, 180)
+	return Point{Lat: lat, Lon: lon}
+}

@@ -1,0 +1,145 @@
+// Package powerlaw models probabilities of the form p(x) = β·x^α — the
+// location-based following model of the paper (Sec. 4.1, Eq. 1) — and the
+// offset variant p(x) = a·(x+b)^c used by the Backstrom et al. baseline.
+//
+// Fitting is done in log-log space with ordinary least squares, exactly the
+// "power laws are straight lines when plotted in the log-log scale"
+// procedure the paper describes for Fig. 3(a).
+package powerlaw
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mlprofile/internal/stats"
+)
+
+// PowerLaw is p(x) = Beta * x^Alpha. For the following model Alpha is
+// negative (probability decays with distance) and Beta is the probability
+// at x = 1 mile. The paper's Twitter fit is Alpha=-0.55, Beta=0.0045.
+type PowerLaw struct {
+	Alpha float64 // exponent
+	Beta  float64 // coefficient
+}
+
+// PaperTwitterFit is the (α, β) the paper reports for Twitter following
+// relationships; useful as an initialization before Gibbs-EM refinement.
+var PaperTwitterFit = PowerLaw{Alpha: -0.55, Beta: 0.0045}
+
+// Eval returns Beta * x^Alpha. x is clamped below at minX to keep the
+// density finite near zero distance (two users in the same city have
+// distance 0; the paper buckets at 1-mile granularity, so minX = 1 matches
+// its measurement floor).
+const minX = 1.0
+
+func (p PowerLaw) Eval(x float64) float64 {
+	if x < minX {
+		x = minX
+	}
+	return p.Beta * math.Pow(x, p.Alpha)
+}
+
+// LogEval returns log(Eval(x)) without underflow for large distances.
+func (p PowerLaw) LogEval(x float64) float64 {
+	if x < minX {
+		x = minX
+	}
+	return math.Log(p.Beta) + p.Alpha*math.Log(x)
+}
+
+// Valid reports whether the parameters define a usable decaying probability
+// (finite, Beta > 0).
+func (p PowerLaw) Valid() bool {
+	return p.Beta > 0 && !math.IsNaN(p.Alpha) && !math.IsInf(p.Alpha, 0) &&
+		!math.IsNaN(p.Beta) && !math.IsInf(p.Beta, 0)
+}
+
+// String formats the law the way the paper writes it.
+func (p PowerLaw) String() string {
+	return fmt.Sprintf("p(d) = %.4g * d^%.3f", p.Beta, p.Alpha)
+}
+
+// Fit estimates (α, β) from observed (x, p(x)) pairs by log-log OLS,
+// optionally weighted (weights typically carry the number of pairs behind
+// each probability estimate so dense short-distance buckets dominate).
+// Non-positive points are skipped. R2 is the log-space goodness of fit.
+func Fit(xs, ps, weights []float64) (PowerLaw, float64, error) {
+	reg, err := stats.LogLogOLS(xs, ps, weights)
+	if err != nil {
+		return PowerLaw{}, 0, err
+	}
+	law := PowerLaw{Alpha: reg.Slope, Beta: math.Exp(reg.Intercept)}
+	if !law.Valid() {
+		return PowerLaw{}, 0, errors.New("powerlaw: degenerate fit")
+	}
+	return law, reg.R2, nil
+}
+
+// OffsetPowerLaw is p(x) = A * (x + B)^C, the functional form Backstrom
+// et al. (WWW'10) fit on Facebook: 0.0019*(d+0.196)^-0.62. The offset keeps
+// the probability finite at zero distance.
+type OffsetPowerLaw struct {
+	A float64 // coefficient
+	B float64 // distance offset, >= 0
+	C float64 // exponent
+}
+
+// Eval returns A * (x+B)^C; x below zero is clamped to zero.
+func (o OffsetPowerLaw) Eval(x float64) float64 {
+	if x < 0 {
+		x = 0
+	}
+	base := x + o.B
+	if base <= 0 {
+		base = 1e-9
+	}
+	return o.A * math.Pow(base, o.C)
+}
+
+// LogEval returns log(Eval(x)).
+func (o OffsetPowerLaw) LogEval(x float64) float64 {
+	if x < 0 {
+		x = 0
+	}
+	base := x + o.B
+	if base <= 0 {
+		base = 1e-9
+	}
+	return math.Log(o.A) + o.C*math.Log(base)
+}
+
+// FitOffset estimates (A, B, C) by a grid search over the offset B with a
+// log-log OLS at each candidate, keeping the candidate with the best R².
+// offsets may be nil, in which case a default grid spanning 0..10 miles is
+// used.
+func FitOffset(xs, ps, weights, offsets []float64) (OffsetPowerLaw, float64, error) {
+	if offsets == nil {
+		offsets = []float64{0, 0.05, 0.1, 0.2, 0.5, 1, 2, 5, 10}
+	}
+	best := OffsetPowerLaw{}
+	bestR2 := math.Inf(-1)
+	found := false
+	shifted := make([]float64, len(xs))
+	for _, b := range offsets {
+		if b < 0 {
+			continue
+		}
+		for i, x := range xs {
+			shifted[i] = x + b
+		}
+		reg, err := stats.LogLogOLS(shifted, ps, weights)
+		if err != nil {
+			continue
+		}
+		if reg.R2 > bestR2 {
+			bestR2 = reg.R2
+			best = OffsetPowerLaw{A: math.Exp(reg.Intercept), B: b, C: reg.Slope}
+			found = true
+		}
+	}
+	if !found {
+		return OffsetPowerLaw{}, 0, errors.New("powerlaw: no usable offset fit")
+	}
+	return best, bestR2, nil
+}

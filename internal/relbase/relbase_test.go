@@ -1,0 +1,95 @@
+package relbase
+
+import (
+	"testing"
+
+	"mlprofile/internal/dataset"
+	"mlprofile/internal/gazetteer"
+	"mlprofile/internal/synth"
+)
+
+func TestExplainUsesHomes(t *testing.T) {
+	d, err := synth.Generate(synth.Config{Seed: 1, NumUsers: 300, NumLocations: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(&d.Corpus, nil)
+	for s, edge := range d.Corpus.Edges[:200] {
+		exp, ok := e.Explain(s)
+		if !ok {
+			t.Fatalf("edge %d unexplained despite full labels", s)
+		}
+		if exp.X != d.Corpus.Users[edge.From].Home || exp.Y != d.Corpus.Users[edge.To].Home {
+			t.Fatalf("edge %d: explanation %v != homes", s, exp)
+		}
+	}
+}
+
+func TestExplainWithProvidedHomes(t *testing.T) {
+	d, err := synth.Generate(synth.Config{Seed: 2, NumUsers: 300, NumLocations: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	homes := make([]gazetteer.CityID, len(d.Corpus.Users))
+	for i := range homes {
+		homes[i] = 0 // everyone "lives" at city 0
+	}
+	e := New(&d.Corpus, homes)
+	exp, ok := e.Explain(0)
+	if !ok || exp.X != 0 || exp.Y != 0 {
+		t.Fatalf("provided homes ignored: %v %v", exp, ok)
+	}
+}
+
+func TestExplainMissingHome(t *testing.T) {
+	d, err := synth.Generate(synth.Config{Seed: 3, NumUsers: 300, NumLocations: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := d.Corpus.HideLabels([]dataset.UserID{d.Corpus.Edges[0].From})
+	c := d.Corpus.WithUsers(users)
+	e := New(c, nil)
+	if _, ok := e.Explain(0); ok {
+		t.Error("edge with unlabeled endpoint should be unexplainable")
+	}
+}
+
+// TestBaselineAccuracyCeiling: on multi-location users' edges the home
+// baseline must be visibly below perfect — the gap MLP exploits (Fig. 8).
+func TestBaselineAccuracyCeiling(t *testing.T) {
+	d, err := synth.Generate(synth.Config{Seed: 4, NumUsers: 1200, NumLocations: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(&d.Corpus, nil)
+	correct, total := 0, 0
+	for s, et := range d.Truth.EdgeTruths {
+		if et.Noise {
+			continue
+		}
+		edge := d.Corpus.Edges[s]
+		multi := len(d.Truth.Profiles[edge.From]) > 1 || len(d.Truth.Profiles[edge.To]) > 1
+		if !multi {
+			continue
+		}
+		exp, ok := e.Explain(s)
+		if !ok {
+			continue
+		}
+		total++
+		if d.Corpus.Gaz.Distance(exp.X, et.X) <= 100 && d.Corpus.Gaz.Distance(exp.Y, et.Y) <= 100 {
+			correct++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no multi-location edges")
+	}
+	acc := float64(correct) / float64(total)
+	t.Logf("home-baseline relationship ACC@100 on multi-loc edges = %.3f (n=%d)", acc, total)
+	if acc > 0.8 {
+		t.Errorf("baseline too strong (%.3f): multi-location edges should often be misexplained", acc)
+	}
+	if acc < 0.2 {
+		t.Errorf("baseline too weak (%.3f)", acc)
+	}
+}

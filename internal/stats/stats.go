@@ -1,0 +1,168 @@
+// Package stats provides the small statistical toolkit used throughout the
+// reproduction: descriptive statistics, histograms with linear or
+// logarithmic binning, and ordinary least squares — including the log-log
+// variant used to fit power laws.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or 0 when len(xs) < 2.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. It returns 0 for empty input and
+// clamps q into [0,1].
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 0.5 quantile of xs.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// LinearRegression holds the result of an ordinary least squares fit
+// y = Intercept + Slope*x.
+type LinearRegression struct {
+	Slope     float64
+	Intercept float64
+	R2        float64 // coefficient of determination
+	N         int     // points used
+}
+
+// ErrInsufficientData is returned by fits with fewer than two usable points
+// or with zero variance in x.
+var ErrInsufficientData = errors.New("stats: insufficient data for fit")
+
+// OLS fits y = a + b*x by ordinary least squares, optionally weighted.
+// weights may be nil for an unweighted fit; otherwise it must have the same
+// length as xs and non-negative entries (zero-weight points are ignored).
+func OLS(xs, ys, weights []float64) (LinearRegression, error) {
+	if len(xs) != len(ys) {
+		return LinearRegression{}, errors.New("stats: x/y length mismatch")
+	}
+	if weights != nil && len(weights) != len(xs) {
+		return LinearRegression{}, errors.New("stats: weight length mismatch")
+	}
+	var sw, swx, swy, swxx, swxy float64
+	n := 0
+	for i := range xs {
+		w := 1.0
+		if weights != nil {
+			w = weights[i]
+		}
+		if w <= 0 || math.IsNaN(xs[i]) || math.IsNaN(ys[i]) ||
+			math.IsInf(xs[i], 0) || math.IsInf(ys[i], 0) {
+			continue
+		}
+		n++
+		sw += w
+		swx += w * xs[i]
+		swy += w * ys[i]
+		swxx += w * xs[i] * xs[i]
+		swxy += w * xs[i] * ys[i]
+	}
+	if n < 2 || sw == 0 {
+		return LinearRegression{}, ErrInsufficientData
+	}
+	denom := sw*swxx - swx*swx
+	if math.Abs(denom) < 1e-12 {
+		return LinearRegression{}, ErrInsufficientData
+	}
+	slope := (sw*swxy - swx*swy) / denom
+	intercept := (swy - slope*swx) / sw
+
+	// Weighted R².
+	meanY := swy / sw
+	var ssTot, ssRes float64
+	for i := range xs {
+		w := 1.0
+		if weights != nil {
+			w = weights[i]
+		}
+		if w <= 0 || math.IsNaN(xs[i]) || math.IsNaN(ys[i]) ||
+			math.IsInf(xs[i], 0) || math.IsInf(ys[i], 0) {
+			continue
+		}
+		pred := intercept + slope*xs[i]
+		ssRes += w * (ys[i] - pred) * (ys[i] - pred)
+		ssTot += w * (ys[i] - meanY) * (ys[i] - meanY)
+	}
+	r2 := 0.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return LinearRegression{Slope: slope, Intercept: intercept, R2: r2, N: n}, nil
+}
+
+// LogLogOLS fits log(y) = log(a) + b*log(x), i.e. y = a*x^b, skipping
+// non-positive points (which have no logarithm). The returned regression is
+// in log space: Slope = b, Intercept = log(a).
+func LogLogOLS(xs, ys, weights []float64) (LinearRegression, error) {
+	if len(xs) != len(ys) {
+		return LinearRegression{}, errors.New("stats: x/y length mismatch")
+	}
+	lx := make([]float64, 0, len(xs))
+	ly := make([]float64, 0, len(xs))
+	var lw []float64
+	if weights != nil {
+		lw = make([]float64, 0, len(xs))
+	}
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			continue
+		}
+		lx = append(lx, math.Log(xs[i]))
+		ly = append(ly, math.Log(ys[i]))
+		if weights != nil {
+			lw = append(lw, weights[i])
+		}
+	}
+	return OLS(lx, ly, lw)
+}

@@ -1,0 +1,180 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); !almostEqual(got, 5, 1e-12) {
+		t.Errorf("Mean = %f, want 5", got)
+	}
+	if got := Variance(xs); !almostEqual(got, 4, 1e-12) {
+		t.Errorf("Variance = %f, want 4", got)
+	}
+	if got := StdDev(xs); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("StdDev = %f, want 2", got)
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Error("degenerate inputs should give 0")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {-0.5, 1}, {1.5, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%.2f) = %f, want %f", c.q, got, c.want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("empty quantile should be 0")
+	}
+	if got := Median([]float64{1, 2}); !almostEqual(got, 1.5, 1e-12) {
+		t.Errorf("Median = %f", got)
+	}
+	// Quantile must not mutate its input.
+	unsorted := []float64{3, 1, 2}
+	Quantile(unsorted, 0.5)
+	if unsorted[0] != 3 || unsorted[1] != 1 || unsorted[2] != 2 {
+		t.Error("Quantile mutated input")
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(40)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64() * 10
+		}
+		q1 := rng.Float64()
+		q2 := rng.Float64()
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		return Quantile(xs, q1) <= Quantile(xs, q2)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOLSExactLine(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 + 2*x
+	}
+	fit, err := OLS(xs, ys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.Slope, 2, 1e-9) || !almostEqual(fit.Intercept, 3, 1e-9) {
+		t.Errorf("fit = %+v, want slope 2 intercept 3", fit)
+	}
+	if !almostEqual(fit.R2, 1, 1e-9) {
+		t.Errorf("R2 = %f, want 1", fit.R2)
+	}
+	if fit.N != 5 {
+		t.Errorf("N = %d", fit.N)
+	}
+}
+
+func TestOLSNoisyLineRecoversSlope(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var xs, ys []float64
+	for i := 0; i < 2000; i++ {
+		x := rng.Float64() * 100
+		xs = append(xs, x)
+		ys = append(ys, 5-0.7*x+rng.NormFloat64())
+	}
+	fit, err := OLS(xs, ys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.Slope, -0.7, 0.01) {
+		t.Errorf("slope = %f, want -0.7", fit.Slope)
+	}
+	if !almostEqual(fit.Intercept, 5, 0.2) {
+		t.Errorf("intercept = %f, want 5", fit.Intercept)
+	}
+}
+
+func TestOLSWeighted(t *testing.T) {
+	// Two populations; the heavy-weight one should dominate the fit.
+	xs := []float64{1, 2, 3, 1, 2, 3}
+	ys := []float64{2, 4, 6, 100, 100, 100} // first half: y=2x, second half: junk
+	w := []float64{1000, 1000, 1000, 0.001, 0.001, 0.001}
+	fit, err := OLS(xs, ys, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.Slope, 2, 0.01) {
+		t.Errorf("weighted slope = %f, want ~2", fit.Slope)
+	}
+}
+
+func TestOLSErrors(t *testing.T) {
+	if _, err := OLS([]float64{1}, []float64{1, 2}, nil); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := OLS([]float64{1, 2}, []float64{1, 2}, []float64{1}); err == nil {
+		t.Error("weight length mismatch should error")
+	}
+	if _, err := OLS([]float64{1}, []float64{1}, nil); err != ErrInsufficientData {
+		t.Errorf("single point: got %v", err)
+	}
+	if _, err := OLS([]float64{2, 2, 2}, []float64{1, 2, 3}, nil); err != ErrInsufficientData {
+		t.Errorf("zero x-variance: got %v", err)
+	}
+	// NaN points are skipped, not propagated.
+	fit, err := OLS([]float64{1, 2, math.NaN(), 3}, []float64{1, 2, 99, 3}, nil)
+	if err != nil || fit.N != 3 {
+		t.Errorf("NaN skip: fit=%+v err=%v", fit, err)
+	}
+}
+
+func TestLogLogOLSPowerLaw(t *testing.T) {
+	// y = 0.0045 * x^-0.55, the paper's fitted following model.
+	var xs, ys []float64
+	for d := 1.0; d <= 3000; d *= 1.5 {
+		xs = append(xs, d)
+		ys = append(ys, 0.0045*math.Pow(d, -0.55))
+	}
+	fit, err := LogLogOLS(xs, ys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.Slope, -0.55, 1e-9) {
+		t.Errorf("exponent = %f, want -0.55", fit.Slope)
+	}
+	if !almostEqual(math.Exp(fit.Intercept), 0.0045, 1e-9) {
+		t.Errorf("coefficient = %f, want 0.0045", math.Exp(fit.Intercept))
+	}
+}
+
+func TestLogLogOLSSkipsNonPositive(t *testing.T) {
+	xs := []float64{0, -1, 1, 2, 4, 8}
+	ys := []float64{5, 5, 1, 2, 4, 8} // y = x on the valid points
+	fit, err := LogLogOLS(xs, ys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.N != 4 || !almostEqual(fit.Slope, 1, 1e-9) {
+		t.Errorf("fit = %+v, want slope 1 over 4 points", fit)
+	}
+	if _, err := LogLogOLS([]float64{1, 2}, []float64{3}, nil); err == nil {
+		t.Error("length mismatch should error")
+	}
+}

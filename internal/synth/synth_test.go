@@ -1,0 +1,321 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"mlprofile/internal/dataset"
+	"mlprofile/internal/gazetteer"
+	"mlprofile/internal/geo"
+	"mlprofile/internal/powerlaw"
+	"mlprofile/internal/stats"
+)
+
+// smallWorld generates a modest world once per test binary run.
+func smallWorld(t *testing.T, seed int64) *dataset.Dataset {
+	t.Helper()
+	d, err := Generate(Config{Seed: seed, NumUsers: 1200, NumLocations: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestGenerateValidates(t *testing.T) {
+	d := smallWorld(t, 1)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := d.Corpus.Stats()
+	if s.Users != 1200 {
+		t.Errorf("users = %d", s.Users)
+	}
+	if s.Locations != 300 {
+		t.Errorf("locations = %d", s.Locations)
+	}
+	if s.FriendsPerUser < 8 || s.FriendsPerUser > 25 {
+		t.Errorf("friends/user = %f, want ~15", s.FriendsPerUser)
+	}
+	if s.VenuesPerUser < 15 || s.VenuesPerUser > 45 {
+		t.Errorf("venues/user = %f, want ~29", s.VenuesPerUser)
+	}
+	if s.LabeledUsers != s.Users {
+		t.Errorf("labeled=%d users=%d: default RegisteredFraction=1 should label all", s.LabeledUsers, s.Users)
+	}
+}
+
+func TestGenerateConfigValidation(t *testing.T) {
+	bad := []Config{
+		{NumUsers: 1},
+		{NumLocations: 5, NumUsers: 100},
+		{NumUsers: 100, NumLocations: 100, EdgeNoise: 1.5},
+		{NumUsers: 100, NumLocations: 100, Alpha: 0.5},
+		{NumUsers: 100, NumLocations: 100, HomeWeightMin: 0.2, HomeWeightMax: 0.8},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("config %d should be rejected", i)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := smallWorld(t, 7)
+	b := smallWorld(t, 7)
+	if len(a.Corpus.Edges) != len(b.Corpus.Edges) || len(a.Corpus.Tweets) != len(b.Corpus.Tweets) {
+		t.Fatal("same seed produced different corpus sizes")
+	}
+	for i := range a.Corpus.Edges {
+		if a.Corpus.Edges[i] != b.Corpus.Edges[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+	for i := range a.Corpus.Tweets {
+		if a.Corpus.Tweets[i] != b.Corpus.Tweets[i] {
+			t.Fatalf("tweet %d differs", i)
+		}
+	}
+	c := smallWorld(t, 8)
+	if len(a.Corpus.Edges) == len(c.Corpus.Edges) {
+		same := true
+		for i := range a.Corpus.Edges {
+			if a.Corpus.Edges[i] != c.Corpus.Edges[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical edge lists")
+		}
+	}
+}
+
+func TestProfilesShape(t *testing.T) {
+	d := smallWorld(t, 2)
+	truth := d.Truth
+	multi := 0
+	for u := range d.Corpus.Users {
+		prof := truth.Profiles[u]
+		if len(prof) == 0 {
+			t.Fatalf("user %d has empty profile", u)
+		}
+		if len(prof) > 3 {
+			t.Fatalf("user %d has %d locations (max 3)", u, len(prof))
+		}
+		if len(prof) > 1 {
+			multi++
+			if prof[0].Weight < 0.5 {
+				t.Fatalf("user %d home weight %f < 0.5", u, prof[0].Weight)
+			}
+		}
+		// Registered home must match the true home.
+		if d.Corpus.Users[u].Labeled() && d.Corpus.Users[u].Home != prof[0].City {
+			t.Fatalf("user %d label %d != true home %d", u, d.Corpus.Users[u].Home, prof[0].City)
+		}
+	}
+	frac := float64(multi) / float64(len(d.Corpus.Users))
+	if frac < 0.28 || frac > 0.42 {
+		t.Errorf("multi-location fraction = %f, want ~0.35", frac)
+	}
+}
+
+func TestEdgeTruthConsistency(t *testing.T) {
+	d := smallWorld(t, 3)
+	noise := 0
+	for i, et := range d.Truth.EdgeTruths {
+		e := d.Corpus.Edges[i]
+		if et.Noise {
+			noise++
+			continue
+		}
+		// X must be in the follower's true profile, Y in the friend's.
+		if !profileContains(d.Truth.Profiles[e.From], et.X) {
+			t.Fatalf("edge %d: X=%d not in follower profile", i, et.X)
+		}
+		if !profileContains(d.Truth.Profiles[e.To], et.Y) {
+			t.Fatalf("edge %d: Y=%d not in friend profile", i, et.Y)
+		}
+	}
+	frac := float64(noise) / float64(len(d.Corpus.Edges))
+	if frac < 0.10 || frac > 0.22 {
+		t.Errorf("noise edge fraction = %f, want ~0.15", frac)
+	}
+}
+
+func TestTweetTruthConsistency(t *testing.T) {
+	d := smallWorld(t, 4)
+	noise := 0
+	for i, tt := range d.Truth.TweetTruths {
+		tr := d.Corpus.Tweets[i]
+		if tt.Noise {
+			noise++
+			continue
+		}
+		if !profileContains(d.Truth.Profiles[tr.User], tt.Z) {
+			t.Fatalf("tweet %d: Z=%d not in user profile", i, tt.Z)
+		}
+	}
+	frac := float64(noise) / float64(len(d.Corpus.Tweets))
+	if frac < 0.19 || frac > 0.31 {
+		t.Errorf("noise tweet fraction = %f, want ~0.25", frac)
+	}
+}
+
+// TestEdgeDistanceDecay verifies the generated following probabilities
+// actually decay with distance roughly as a power law — the Fig. 3(a)
+// property the whole reproduction leans on.
+func TestEdgeDistanceDecay(t *testing.T) {
+	d, err := Generate(Config{Seed: 5, NumUsers: 3000, NumLocations: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Numerator: location-based edges bucketed by true assignment distance.
+	num, _ := stats.NewLogHistogram(1, 2, 12)
+	for i, et := range d.Truth.EdgeTruths {
+		if et.Noise {
+			continue
+		}
+		_ = i
+		num.Observe(d.Corpus.Gaz.Distance(et.X, et.Y) + 1)
+	}
+	// Denominator: distances between random labeled user pairs.
+	den, _ := stats.NewLogHistogram(1, 2, 12)
+	users := d.Corpus.Users
+	for i := 0; i < 400000; i++ {
+		a := users[(i*7919)%len(users)]
+		b := users[(i*104729+13)%len(users)]
+		if a.ID == b.ID {
+			continue
+		}
+		den.Observe(d.Corpus.Gaz.Distance(a.Home, b.Home) + 1)
+	}
+	xs, ps, err := num.Ratio(den)
+	if err != nil {
+		t.Fatal(err)
+	}
+	law, r2, err := powerlaw.Fit(xs, ps, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if law.Alpha > -0.2 || law.Alpha < -1.2 {
+		t.Errorf("fitted alpha = %f, want shallow negative (~-0.55)", law.Alpha)
+	}
+	if r2 < 0.6 {
+		t.Errorf("power-law fit R2 = %f too poor", r2)
+	}
+}
+
+// TestTweetLocality verifies location-based tweets mention venues near the
+// assigned location most of the time.
+func TestTweetLocality(t *testing.T) {
+	d := smallWorld(t, 6)
+	local, total := 0, 0
+	for i, tt := range d.Truth.TweetTruths {
+		if tt.Noise {
+			continue
+		}
+		tr := d.Corpus.Tweets[i]
+		v := d.Corpus.Venues.Venue(tr.Venue)
+		// A tweet is "local" if any sense of the venue is within 150 miles
+		// of the assigned location.
+		best := math.Inf(1)
+		for _, cid := range v.Locations {
+			if dd := d.Corpus.Gaz.Distance(tt.Z, cid); dd < best {
+				best = dd
+			}
+		}
+		total++
+		if best <= 150 {
+			local++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no location-based tweets")
+	}
+	// With the default GlobalVenueMass of 0.40, roughly 65% of
+	// location-based tweets mention metro-local venues.
+	frac := float64(local) / float64(total)
+	if frac < 0.6 {
+		t.Errorf("only %.2f of location-based tweets are local", frac)
+	}
+}
+
+func TestRegisteredFractionRespected(t *testing.T) {
+	d, err := Generate(Config{Seed: 9, NumUsers: 1500, NumLocations: 200, RegisteredFraction: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.Corpus.Stats()
+	frac := float64(s.LabeledUsers) / float64(s.Users)
+	if frac < 0.33 || frac > 0.47 {
+		t.Errorf("labeled fraction = %f, want ~0.4", frac)
+	}
+	// Unlabeled users carry junk registrations that never parse.
+	for _, u := range d.Corpus.Users {
+		if !u.Labeled() {
+			if _, ok := d.Corpus.Gaz.ParseRegisteredLocation(u.Registered); ok {
+				t.Fatalf("user %d unlabeled but registration %q parses", u.ID, u.Registered)
+			}
+		}
+	}
+}
+
+// TestCandidacyCoverage mirrors the paper's observation that ~92% of users'
+// home locations appear among their neighbors' labels or tweeted venues —
+// the assumption behind candidacy vectors (Sec. 4.3).
+func TestCandidacyCoverage(t *testing.T) {
+	d := smallWorld(t, 10)
+	adj := d.Corpus.BuildAdjacency()
+
+	tweetsByUser := make(map[dataset.UserID][]gazetteer.VenueID)
+	for _, tr := range d.Corpus.Tweets {
+		tweetsByUser[tr.User] = append(tweetsByUser[tr.User], tr.Venue)
+	}
+
+	covered, total := 0, 0
+	for _, u := range d.Corpus.Users {
+		home := d.Truth.Profiles[u.ID][0].City
+		homePt := d.Corpus.Gaz.City(home).Point
+		total++
+		found := false
+		for _, nb := range adj.Neighbors(u.ID) {
+			nbHome := d.Corpus.Users[nb].Home
+			if nbHome == dataset.NoCity {
+				continue
+			}
+			if dd := d.Corpus.Gaz.Distance(home, nbHome); dd <= 100 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			for _, vid := range tweetsByUser[u.ID] {
+				for _, cid := range d.Corpus.Venues.Venue(vid).Locations {
+					if geo.Miles(d.Corpus.Gaz.City(cid).Point, homePt) <= 100 {
+						found = true
+						break
+					}
+				}
+				if found {
+					break
+				}
+			}
+		}
+		if found {
+			covered++
+		}
+	}
+	frac := float64(covered) / float64(total)
+	if frac < 0.85 {
+		t.Errorf("candidacy coverage = %f, want >= 0.85 (paper observes 0.92)", frac)
+	}
+}
+
+func profileContains(prof []dataset.WeightedLocation, c gazetteer.CityID) bool {
+	for _, wl := range prof {
+		if wl.City == c {
+			return true
+		}
+	}
+	return false
+}

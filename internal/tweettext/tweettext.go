@@ -1,0 +1,133 @@
+// Package tweettext closes the loop between raw tweets and tweeting
+// relationships: it synthesizes tweet strings that mention venues (the way
+// the paper's crawled tweets mention "houston" or "hollywood") and extracts
+// venue mentions back out of arbitrary text by n-gram matching against the
+// venue vocabulary — the paper's "extracted venues from them based on the
+// same gazetteer" step.
+package tweettext
+
+import (
+	"math/rand"
+	"strings"
+
+	"mlprofile/internal/gazetteer"
+)
+
+// venueTemplates produce tweets that mention one venue; %v is replaced by
+// the venue name.
+var venueTemplates = []string{
+	"good morning from %v!",
+	"heading to %v this weekend",
+	"traffic in %v is crazy today",
+	"loving the weather in %v",
+	"just landed in %v",
+	"miss %v so much",
+	"watching the game in %v tonight",
+	"anyone else in %v right now?",
+	"best tacos in %v hands down",
+	"%v sunsets never get old",
+	"praying for my hometown. %v is wilding out.",
+	"cant wait to be back in %v",
+	"so proud of %v today",
+	"finally exploring %v",
+	"coffee run in %v before work",
+}
+
+// fillerTweets carry no geo signal at all.
+var fillerTweets = []string{
+	"so tired today",
+	"coffee time",
+	"monday again ugh",
+	"new album on repeat",
+	"cant sleep",
+	"best day ever",
+	"need a vacation",
+	"who else is watching the finale",
+	"gym then tacos",
+	"my wifi is down again",
+	"just finished a great book",
+	"thinking about life",
+}
+
+// Compose renders a tweet mentioning the venue name, using the rng to pick
+// a template.
+func Compose(rng *rand.Rand, venueName string) string {
+	t := venueTemplates[rng.Intn(len(venueTemplates))]
+	return strings.Replace(t, "%v", venueName, 1)
+}
+
+// ComposeFiller renders a tweet with no venue mention.
+func ComposeFiller(rng *rand.Rand) string {
+	return fillerTweets[rng.Intn(len(fillerTweets))]
+}
+
+// Extractor matches venue names in free text. Matching is case-insensitive,
+// punctuation-insensitive, and greedy-longest over token n-grams up to the
+// longest venue name in the vocabulary.
+type Extractor struct {
+	vocab     *gazetteer.VenueVocab
+	maxTokens int
+}
+
+// NewExtractor builds an extractor over the venue vocabulary.
+func NewExtractor(vocab *gazetteer.VenueVocab) *Extractor {
+	maxTokens := 1
+	for _, name := range vocab.Names() {
+		if n := len(strings.Fields(name)); n > maxTokens {
+			maxTokens = n
+		}
+	}
+	return &Extractor{vocab: vocab, maxTokens: maxTokens}
+}
+
+// Tokenize lowercases text and splits it into alphanumeric tokens,
+// preserving intra-word apostrophes by dropping them ("fisherman's" ->
+// "fishermans", matching the vocabulary's normalized landmark names).
+func Tokenize(text string) []string {
+	var b strings.Builder
+	b.Grow(len(text))
+	for _, r := range text {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r >= 'A' && r <= 'Z':
+			b.WriteRune(r - 'A' + 'a')
+		case r == '\'':
+			// drop
+		case r == '.' || r == '-':
+			// "st. louis" and "winston-salem" keep their shape as tokens
+			b.WriteRune(r)
+		default:
+			b.WriteRune(' ')
+		}
+	}
+	return strings.Fields(b.String())
+}
+
+// Extract returns the venue IDs mentioned in text, in order of appearance.
+// Overlapping candidates resolve to the longest match ("new york" wins over
+// "york"); each token participates in at most one mention.
+func (e *Extractor) Extract(text string) []gazetteer.VenueID {
+	tokens := Tokenize(text)
+	var out []gazetteer.VenueID
+	for i := 0; i < len(tokens); {
+		matched := false
+		maxN := e.maxTokens
+		if rem := len(tokens) - i; rem < maxN {
+			maxN = rem
+		}
+		for n := maxN; n >= 1; n-- {
+			candidate := strings.Join(tokens[i:i+n], " ")
+			if id, ok := e.vocab.ID(candidate); ok {
+				out = append(out, id)
+				i += n
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			i++
+		}
+	}
+	return out
+}

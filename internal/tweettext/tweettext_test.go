@@ -1,0 +1,163 @@
+package tweettext
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mlprofile/internal/gazetteer"
+)
+
+func buildVocab(t *testing.T) (*gazetteer.Gazetteer, *gazetteer.VenueVocab) {
+	t.Helper()
+	g, err := gazetteer.New(gazetteer.USAnchors())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, gazetteer.BuildVenueVocab(g)
+}
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"Good Morning from AUSTIN!", "good morning from austin"},
+		{"see Gaga in Hollywood.", "see gaga in hollywood."},
+		{"fisherman's wharf", "fishermans wharf"},
+		{"winston-salem, nc", "winston-salem nc"},
+		{"  multiple   spaces\tand\nnewlines ", "multiple spaces and newlines"},
+		{"", ""},
+		{"#Austin @friend http://x.co", "austin friend http x.co"},
+	}
+	for _, c := range cases {
+		got := strings.Join(Tokenize(c.in), " ")
+		if got != c.want {
+			t.Errorf("Tokenize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestExtractSingleVenue(t *testing.T) {
+	_, vv := buildVocab(t)
+	e := NewExtractor(vv)
+
+	ids := e.Extract("Want to go to Honolulu for Spring vacation!")
+	if len(ids) != 1 || vv.Venue(ids[0]).Name != "honolulu" {
+		t.Fatalf("Extract = %v", names(vv, ids))
+	}
+}
+
+func TestExtractMultiTokenVenueWinsOverSubtoken(t *testing.T) {
+	_, vv := buildVocab(t)
+	e := NewExtractor(vv)
+
+	// "new york" must match as one venue, not fall through to "york".
+	ids := e.Extract("greetings from New York city")
+	if len(ids) == 0 || vv.Venue(ids[0]).Name != "new york" {
+		t.Fatalf("Extract = %v, want [new york ...]", names(vv, ids))
+	}
+
+	// "salt lake city" is three tokens.
+	ids = e.Extract("driving through Salt Lake City tonight")
+	found := false
+	for _, id := range ids {
+		if vv.Venue(id).Name == "salt lake city" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("salt lake city not extracted: %v", names(vv, ids))
+	}
+}
+
+func TestExtractMultipleAndOrder(t *testing.T) {
+	_, vv := buildVocab(t)
+	e := NewExtractor(vv)
+	ids := e.Extract("flew from Boston to Seattle via Chicago")
+	got := names(vv, ids)
+	want := []string{"boston", "seattle", "chicago"}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("Extract = %v, want %v", got, want)
+	}
+}
+
+func TestExtractLandmarksAndAmbiguity(t *testing.T) {
+	_, vv := buildVocab(t)
+	e := NewExtractor(vv)
+
+	ids := e.Extract("See Gaga in Hollywood tonight")
+	if len(ids) != 1 || vv.Venue(ids[0]).Name != "hollywood" {
+		t.Fatalf("Extract = %v", names(vv, ids))
+	}
+
+	// Ambiguous venue names still extract (disambiguation is the model's
+	// job, not the extractor's).
+	ids = e.Extract("princeton is lovely in the fall")
+	if len(ids) != 1 || vv.Venue(ids[0]).Name != "princeton" {
+		t.Fatalf("Extract = %v", names(vv, ids))
+	}
+	if len(vv.Venue(ids[0]).Locations) < 2 {
+		t.Error("extracted princeton should remain ambiguous")
+	}
+}
+
+func TestExtractNoVenues(t *testing.T) {
+	_, vv := buildVocab(t)
+	e := NewExtractor(vv)
+	for _, text := range []string{"", "so tired today", "coffee time!!!"} {
+		if ids := e.Extract(text); len(ids) != 0 {
+			t.Errorf("Extract(%q) = %v, want none", text, names(vv, ids))
+		}
+	}
+}
+
+// TestComposeExtractRoundTrip: every composed tweet for a venue must
+// extract that venue back — the property the synthetic pipeline depends on.
+func TestComposeExtractRoundTrip(t *testing.T) {
+	_, vv := buildVocab(t)
+	e := NewExtractor(vv)
+	rng := rand.New(rand.NewSource(99))
+
+	for i := 0; i < 500; i++ {
+		vid := gazetteer.VenueID(rng.Intn(vv.Len()))
+		text := Compose(rng, vv.Venue(vid).Name)
+		ids := e.Extract(text)
+		found := false
+		for _, id := range ids {
+			if id == vid {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("venue %q lost in round trip through %q (got %v)",
+				vv.Venue(vid).Name, text, names(vv, ids))
+		}
+	}
+}
+
+// TestFillerTweetsCarryNoSignalMostly: filler templates should rarely
+// collide with venue names.
+func TestFillerTweetsExtractNothing(t *testing.T) {
+	_, vv := buildVocab(t)
+	e := NewExtractor(vv)
+	rng := rand.New(rand.NewSource(5))
+	collisions := 0
+	for i := 0; i < 200; i++ {
+		if len(e.Extract(ComposeFiller(rng))) > 0 {
+			collisions++
+		}
+	}
+	if collisions > 0 {
+		t.Errorf("%d/200 filler tweets extracted venues", collisions)
+	}
+}
+
+func names(vv *gazetteer.VenueVocab, ids []gazetteer.VenueID) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = vv.Venue(id).Name
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package mlprofile_test
+
+import (
+	"testing"
+
+	"mlprofile"
+)
+
+// TestPublicAPIEndToEnd drives the façade the way the README's quickstart
+// does: generate → split → fit → evaluate → explain.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	world, err := mlprofile.GenerateWorld(mlprofile.WorldConfig{
+		Seed: 2, NumUsers: 500, NumLocations: 150,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := world.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	folds := mlprofile.KFold(len(world.Corpus.Users), 5, 3)
+	test := folds[0]
+	corpus := world.Corpus.WithUsers(world.Corpus.HideLabels(test))
+
+	model, err := mlprofile.Fit(corpus, mlprofile.ModelConfig{Seed: 1, Iterations: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var he mlprofile.HomeEval
+	for _, u := range test {
+		pred := model.Home(u)
+		if pred == mlprofile.NoCity {
+			he.AddMissing()
+			continue
+		}
+		he.Add(world.Corpus.Gaz.Distance(pred, world.Truth.Home(u)))
+	}
+	if acc := he.ACC(100); acc < 0.5 {
+		t.Errorf("public API end-to-end ACC@100 = %.3f, want >= 0.5", acc)
+	}
+
+	// Explanations exist for every edge.
+	if _, ok := model.ExplainEdge(0); !ok {
+		t.Error("edge explanation unavailable")
+	}
+	if _, ok := model.MAPExplainEdge(0); !ok {
+		t.Error("MAP edge explanation unavailable")
+	}
+
+	// Baselines fit through the façade too.
+	if _, err := mlprofile.FitBaseU(corpus, mlprofile.BaseUConfig{Seed: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mlprofile.FitBaseC(corpus, mlprofile.BaseCConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if exp, ok := mlprofile.NewRelBaseline(&world.Corpus, nil).Explain(0); !ok || exp.X == mlprofile.NoCity {
+		t.Error("relationship baseline unavailable")
+	}
+}
+
+// TestPublicAPIGazetteer exercises the gazetteer surface.
+func TestPublicAPIGazetteer(t *testing.T) {
+	g, err := mlprofile.BuildGazetteer(400, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 400 {
+		t.Fatalf("gazetteer size %d", g.Len())
+	}
+	id, ok := g.ParseRegisteredLocation("Austin, TX")
+	if !ok {
+		t.Fatal("austin not parsed")
+	}
+	if g.City(id).DisplayName() != "Austin, TX" {
+		t.Errorf("DisplayName = %q", g.City(id).DisplayName())
+	}
+	vv := mlprofile.BuildVenueVocab(g)
+	if vv.Len() == 0 {
+		t.Fatal("empty venue vocabulary")
+	}
+	if _, ok := vv.ID("austin"); !ok {
+		t.Error("austin missing from vocabulary")
+	}
+}
+
+// TestPublicAPISaveLoad round-trips a dataset through disk.
+func TestPublicAPISaveLoad(t *testing.T) {
+	world, err := mlprofile.GenerateWorld(mlprofile.WorldConfig{
+		Seed: 3, NumUsers: 200, NumLocations: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := world.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := mlprofile.LoadDataset(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Corpus.Users) != 200 || got.Truth == nil {
+		t.Error("round trip lost data")
+	}
+}
+
+// TestExperimentsFacade runs one small table through the façade.
+func TestExperimentsFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run in -short mode")
+	}
+	r, err := mlprofile.Experiments(mlprofile.ExperimentOptions{
+		Seed: 4, Users: 500, Locations: 150, FoldLimit: 1, Iterations: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := r.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 1 || len(tbl.Rows[0]) != 6 {
+		t.Errorf("table 2 shape wrong: %+v", tbl)
+	}
+	t.Log("\n" + tbl.String())
+}
