@@ -9,7 +9,9 @@
 package mlprofile
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -283,18 +285,40 @@ func BenchmarkAblationBlockedSampler(b *testing.B) {
 // --- Micro-benchmarks of the hot paths ---
 
 // BenchmarkGibbsSweep measures raw sampler throughput: relationships
-// resampled per second on the bench world.
+// resampled per second on the bench world, for the exact sequential
+// sampler (workers=1) and the partitioned parallel sweep at GOMAXPROCS.
+// The ratio of the two is the sweep speedup on this machine.
 func BenchmarkGibbsSweep(b *testing.B) {
 	d, test := ablationSetup(b)
 	c := d.Corpus.WithUsers(d.Corpus.HideLabels(test))
 	rels := len(c.Edges) + len(c.Tweets)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := core.Fit(c, core.Config{Seed: int64(i), Iterations: 1, NoiseBurnIn: 1}); err != nil {
-			b.Fatal(err)
-		}
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Fit(c, core.Config{Seed: int64(i), Iterations: 1, NoiseBurnIn: 1, Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(rels), "rels/sweep")
+		})
 	}
-	b.ReportMetric(float64(rels), "rels/sweep")
+}
+
+// BenchmarkFitWorkers runs a full multi-sweep fit (noise mixture and
+// Gibbs-EM on) at both worker counts — the end-to-end wall-clock number
+// behind the parallel-sweep work.
+func BenchmarkFitWorkers(b *testing.B) {
+	d, test := ablationSetup(b)
+	c := d.Corpus.WithUsers(d.Corpus.HideLabels(test))
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Fit(c, core.Config{Seed: 9, Iterations: 10, GibbsEM: true, Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 func BenchmarkHaversine(b *testing.B) {

@@ -30,6 +30,7 @@ func main() {
 		folds     = flag.Int("folds", 5, "cross-validation folds")
 		foldLimit = flag.Int("fold-limit", 0, "folds actually evaluated (0 = all)")
 		iters     = flag.Int("iterations", 15, "Gibbs iterations per fit")
+		workers   = flag.Int("workers", 0, "Gibbs sweep goroutines per fit (0 = GOMAXPROCS, except 1 inside a multi-fold CV pass; 1 = exact sequential sampler)")
 		noEM      = flag.Bool("no-em", false, "disable Gibbs-EM refinement")
 	)
 	flag.Parse()
@@ -41,6 +42,7 @@ func main() {
 		Folds:          *folds,
 		FoldLimit:      *foldLimit,
 		Iterations:     *iters,
+		Workers:        *workers,
 		DisableGibbsEM: *noEM,
 	})
 	if err != nil {

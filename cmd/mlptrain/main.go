@@ -34,6 +34,7 @@ func main() {
 		variant = flag.String("variant", "mlp", "model variant: mlp, mlp_u, mlp_c")
 		topK    = flag.Int("top", 3, "profile locations per user to emit")
 		em      = flag.Bool("em", true, "refine (alpha, beta) with Gibbs-EM")
+		workers = flag.Int("workers", 0, "Gibbs sweep goroutines (0 = GOMAXPROCS; 1 = exact sequential sampler)")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -63,6 +64,7 @@ func main() {
 		Seed:       *seed,
 		Iterations: *iters,
 		Variant:    v,
+		Workers:    *workers,
 		GibbsEM:    *em,
 	})
 	if err != nil {

@@ -1,0 +1,3 @@
+module mlprofile
+
+go 1.24

@@ -19,6 +19,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 )
 
 // Variant selects which observation types the model consumes.
@@ -55,6 +56,16 @@ type Config struct {
 	// Iterations is the number of Gibbs sweeps (default 20; the paper
 	// observes convergence in ~14).
 	Iterations int
+
+	// Workers is the number of goroutines running each Gibbs sweep
+	// (default runtime.GOMAXPROCS(0)). Workers=1 is the paper's exact
+	// sequential collapsed sampler and is bit-for-bit reproducible from
+	// Seed. Workers>1 partitions each sweep into user-disjoint shards
+	// (see DESIGN.md §6): results remain deterministic for a fixed
+	// (Seed, Workers) pair but differ from the sequential chain, because
+	// concurrent tweet updates read venue counts frozen at the start of
+	// the sweep's tweet phase.
+	Workers int
 
 	// RhoF and RhoT are the mixture priors for noisy following/tweeting
 	// relationships (default 0.1 each).
@@ -125,6 +136,9 @@ func (c Config) withDefaults() Config {
 	if c.Iterations == 0 {
 		c.Iterations = 20
 	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
 	if c.RhoF == 0 {
 		c.RhoF = 0.1
 	}
@@ -167,6 +181,9 @@ func (c Config) withDefaults() Config {
 func (c Config) validate() error {
 	if c.Iterations < 1 {
 		return errors.New("core: Iterations must be >= 1")
+	}
+	if c.Workers < 1 {
+		return errors.New("core: Workers must be >= 1 (or zero for GOMAXPROCS)")
 	}
 	if c.RhoF < 0 || c.RhoF >= 1 || c.RhoT < 0 || c.RhoT >= 1 {
 		return fmt.Errorf("core: noise priors (%f, %f) must lie in [0,1)", c.RhoF, c.RhoT)

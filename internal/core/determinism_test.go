@@ -1,0 +1,82 @@
+package core
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"testing"
+
+	"mlprofile/internal/dataset"
+	"mlprofile/internal/synth"
+)
+
+// fitFingerprint reduces a fitted model to a single hash covering every
+// user's full profile (city IDs and exact float64 weight bits), the
+// refined (α, β), and the noise rates. Two fits agree on the fingerprint
+// iff they are bit-for-bit identical in everything the model exposes.
+func fitFingerprint(m *Model) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	w64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	wf := func(f float64) { w64(math.Float64bits(f)) }
+	for u := range m.corpus.Users {
+		for _, wl := range m.Profile(dataset.UserID(u)) {
+			w64(uint64(wl.City))
+			wf(wl.Weight)
+		}
+	}
+	alpha, beta := m.AlphaBeta()
+	wf(alpha)
+	wf(beta)
+	en, tn := m.NoiseStats()
+	wf(en)
+	wf(tn)
+	return h.Sum64()
+}
+
+// goldenCfg is the fixed configuration the sequential-determinism golden
+// was captured under (pre-parallelization sequential sampler, after the
+// labeledPairHistogram and initState fixes). It exercises the noise
+// mixture, Gibbs-EM, and both observation types.
+func goldenCfg() Config {
+	return Config{
+		Seed:         7,
+		Iterations:   8,
+		Workers:      1,
+		GibbsEM:      true,
+		EMInterval:   3,
+		EMPairSample: 20000,
+	}
+}
+
+func goldenWorld(t testing.TB) *synth.Config {
+	t.Helper()
+	return &synth.Config{Seed: 73, NumUsers: 300, NumLocations: 120}
+}
+
+// goldenFingerprint is the fingerprint of the pre-parallelization
+// sequential sampler on the golden world/config. Workers=1 must keep
+// reproducing it bit-for-bit: the parallel refactor is required to leave
+// the sequential path's RNG consumption and arithmetic untouched.
+const goldenFingerprint = uint64(0xdeef2b9070a15517)
+
+// TestWorkers1MatchesSequentialGolden locks the Workers=1 path to the
+// pre-change sequential sampler.
+func TestWorkers1MatchesSequentialGolden(t *testing.T) {
+	d, err := synth.Generate(*goldenWorld(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Fit(&d.Corpus, goldenCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := fitFingerprint(m)
+	t.Logf("fingerprint: %#x", got)
+	if got != goldenFingerprint {
+		t.Errorf("Workers=1 fingerprint %#x differs from the sequential golden %#x", got, goldenFingerprint)
+	}
+}

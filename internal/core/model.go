@@ -52,17 +52,13 @@ type Model struct {
 	iterationsRun int
 	curIter       int // 1-based index of the sweep in progress
 
-	// scratch is reused by the sampler's weight computations to avoid a
-	// per-relationship allocation. The sampler is single-goroutine.
-	scratch []float64
-}
-
-// buf returns a zero-length-agnostic scratch slice of length n.
-func (m *Model) buf(n int) []float64 {
-	if cap(m.scratch) < n {
-		m.scratch = make([]float64, n)
-	}
-	return m.scratch[:n]
+	// Sweep execution state, keyed off cfg.Workers. seq is the sequential
+	// sampler's context (the model RNG plus reusable scratch, so the hot
+	// path never allocates); with Workers>1 the plan and per-worker
+	// contexts drive sweepParallel.
+	seq     *sweepCtx
+	plan    *sweepPlan
+	parCtxs []*sweepCtx
 }
 
 // Fit runs MLP inference over the corpus and returns the fitted model.
@@ -84,6 +80,7 @@ func Fit(c *dataset.Corpus, cfg Config) (*Model, error) {
 		alpha:  cfg.Alpha,
 		beta:   cfg.Beta,
 	}
+	m.seq = &sweepCtx{m: m, rng: m.rng}
 	hasObs := (m.useF && len(c.Edges) > 0) || (m.useT && len(c.Tweets) > 0)
 	if !hasObs {
 		return nil, errors.New("core: corpus has no observations for the chosen variant")
@@ -150,16 +147,17 @@ func (m *Model) initState() {
 		}
 	}
 
-	// Initial edge state.
+	// Initial relationship state. Invariant: every relationship starts in
+	// the location-based component (µ = ν = 0 — the zero value of the
+	// freshly allocated selector slices; the noise selectors only activate
+	// after NoiseBurnIn sweeps), so every initial assignment is counted in
+	// ϕ and every initial tweet assignment feeds the venue counts.
 	if m.useF {
 		S := len(c.Edges)
 		m.mu = make([]bool, S)
 		m.ex = make([]uint16, S)
 		m.ey = make([]uint16, S)
 		for s, e := range c.Edges {
-			// Everything starts in the location-based component; the
-			// selectors activate after NoiseBurnIn sweeps.
-			m.mu[s] = false
 			xi := randutil.Categorical(m.rng, m.cands.gamma[e.From])
 			yi := randutil.Categorical(m.rng, m.cands.gamma[e.To])
 			m.ex[s] = uint16(xi)
@@ -171,20 +169,16 @@ func (m *Model) initState() {
 		}
 	}
 
-	// Initial tweet state.
 	if m.useT {
 		K := len(c.Tweets)
 		m.nu = make([]bool, K)
 		m.tz = make([]uint16, K)
 		for k, t := range c.Tweets {
-			m.nu[k] = false
 			zi := randutil.Categorical(m.rng, m.cands.gamma[t.User])
 			m.tz[k] = uint16(zi)
 			m.phi[t.User][zi]++
 			m.phiSum[t.User]++
-			if !m.nu[k] {
-				m.addVenue(m.cands.cand[t.User][zi], t.Venue)
-			}
+			m.addVenue(m.cands.cand[t.User][zi], t.Venue)
 		}
 	}
 }
@@ -212,7 +206,13 @@ func (m *Model) psi(l gazetteer.CityID, v gazetteer.VenueID) float64 {
 	if m.venueCount[l] != nil {
 		cnt = m.venueCount[l][v]
 	}
-	return (cnt + m.cfg.Delta) / (m.venueSum[l] + m.cfg.Delta*float64(m.numVenues))
+	return m.psiFrom(cnt, m.venueSum[l])
+}
+
+// psiFrom is the ψ̂ smoothing shared by the sequential estimate and the
+// parallel workers' overlay reads (sweepCtx.psi).
+func (m *Model) psiFrom(cnt, sum float64) float64 {
+	return (cnt + m.cfg.Delta) / (sum + m.cfg.Delta*float64(m.numVenues))
 }
 
 // theta returns the collapsed profile probability of candidate idx for

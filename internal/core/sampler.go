@@ -11,22 +11,28 @@ import (
 
 // sweep performs one Gibbs iteration: every following relationship's
 // (x, y, µ) and every tweeting relationship's (z, ν) is resampled from its
-// conditional posterior (Eqs. 5–9).
+// conditional posterior (Eqs. 5–9). Workers=1 runs the paper's exact
+// sequential chain on the model RNG; Workers>1 fans the sweep out over
+// user-disjoint shards (sweepParallel, see parallel.go).
 func (m *Model) sweep() {
+	if m.cfg.Workers > 1 {
+		m.sweepParallel()
+		return
+	}
 	if m.useF {
 		if m.cfg.BlockedSampler {
 			for s := range m.corpus.Edges {
-				m.updateEdgeBlocked(s)
+				m.updateEdgeBlocked(m.seq, s)
 			}
 		} else {
 			for s := range m.corpus.Edges {
-				m.updateEdge(s)
+				m.updateEdge(m.seq, s)
 			}
 		}
 	}
 	if m.useT {
 		for k := range m.corpus.Tweets {
-			m.updateTweet(k)
+			m.updateTweet(m.seq, k)
 		}
 	}
 }
@@ -39,7 +45,7 @@ func (m *Model) sweep() {
 // A noise-flagged relationship keeps phantom assignments — refreshed from
 // the profile alone, per the first factor of Eqs. 7–8 — but stops voting,
 // which is how MLP "automatically rules out noisy relationships".
-func (m *Model) updateEdge(s int) {
+func (m *Model) updateEdge(ctx *sweepCtx, s int) {
 	e := m.corpus.Edges[s]
 	candI := m.cands.cand[e.From]
 	candJ := m.cands.cand[e.To]
@@ -56,7 +62,7 @@ func (m *Model) updateEdge(s int) {
 		m.phiSum[e.From]--
 	}
 	yLoc := candJ[m.ey[s]]
-	weights := m.buf(len(candI))
+	weights := ctx.buf(len(candI))
 	for c := range candI {
 		w := phiI[c] + gammaI[c]
 		if counted {
@@ -64,7 +70,7 @@ func (m *Model) updateEdge(s int) {
 		}
 		weights[c] = w
 	}
-	xi = randutil.Categorical(m.rng, weights)
+	xi = randutil.Categorical(ctx.rng, weights)
 	if xi < 0 {
 		xi = int(m.ex[s])
 	}
@@ -81,7 +87,7 @@ func (m *Model) updateEdge(s int) {
 		m.phiSum[e.To]--
 	}
 	xLoc := candI[xi]
-	weights = m.buf(len(candJ))
+	weights = ctx.buf(len(candJ))
 	for c := range candJ {
 		w := phiJ[c] + gammaJ[c]
 		if counted {
@@ -89,7 +95,7 @@ func (m *Model) updateEdge(s int) {
 		}
 		weights[c] = w
 	}
-	yi = randutil.Categorical(m.rng, weights)
+	yi = randutil.Categorical(ctx.rng, weights)
 	if yi < 0 {
 		yi = int(m.ey[s])
 	}
@@ -113,7 +119,7 @@ func (m *Model) updateEdge(s int) {
 	p1 := m.cfg.RhoF * m.fr
 	p0 := (1 - m.cfg.RhoF) * thetaX * thetaY * m.beta *
 		m.dc.powDist(candI[xi], candJ[yi], m.alpha)
-	noisy := randutil.Bernoulli(m.rng, p1/(p0+p1))
+	noisy := randutil.Bernoulli(ctx.rng, p1/(p0+p1))
 	if noisy == m.mu[s] {
 		return
 	}
@@ -136,7 +142,7 @@ func (m *Model) updateEdge(s int) {
 // updateEdgeBlocked jointly resamples (µ_s, x_s, y_s) from their exact
 // joint conditional — the blocked-sampler ablation. The model is
 // unchanged; only the inference move differs.
-func (m *Model) updateEdgeBlocked(s int) {
+func (m *Model) updateEdgeBlocked(ctx *sweepCtx, s int) {
 	e := m.corpus.Edges[s]
 	candI := m.cands.cand[e.From]
 	candJ := m.cands.cand[e.To]
@@ -154,8 +160,7 @@ func (m *Model) updateEdgeBlocked(s int) {
 	}
 
 	nI, nJ := len(candI), len(candJ)
-	wx := make([]float64, nI)
-	wy := make([]float64, nJ)
+	wx, wy, pair := ctx.bufBlocked(nI, nJ)
 	for c := range candI {
 		wx[c] = phiI[c] + gammaI[c]
 	}
@@ -172,7 +177,6 @@ func (m *Model) updateEdgeBlocked(s int) {
 	if m.curIter <= m.cfg.NoiseBurnIn {
 		w1 = 0
 	}
-	pair := make([]float64, nI*nJ)
 	var pairSum float64
 	for i := 0; i < nI; i++ {
 		for j := 0; j < nJ; j++ {
@@ -183,12 +187,12 @@ func (m *Model) updateEdgeBlocked(s int) {
 	}
 	w0 := (1 - m.cfg.RhoF) * m.beta * pairSum / (denI * denJ)
 
-	if randutil.Bernoulli(m.rng, w1/(w0+w1)) {
+	if randutil.Bernoulli(ctx.rng, w1/(w0+w1)) {
 		// Noise: keep phantom assignments drawn from the profiles alone;
 		// they do not count.
 		m.mu[s] = true
-		xi := randutil.Categorical(m.rng, wx)
-		yi := randutil.Categorical(m.rng, wy)
+		xi := randutil.Categorical(ctx.rng, wx)
+		yi := randutil.Categorical(ctx.rng, wy)
 		if xi < 0 {
 			xi = int(m.ex[s])
 		}
@@ -199,7 +203,7 @@ func (m *Model) updateEdgeBlocked(s int) {
 		return
 	}
 	m.mu[s] = false
-	p := randutil.Categorical(m.rng, pair)
+	p := randutil.Categorical(ctx.rng, pair)
 	if p < 0 {
 		p = int(m.ex[s])*nJ + int(m.ey[s])
 	}
@@ -213,7 +217,7 @@ func (m *Model) updateEdgeBlocked(s int) {
 // updateTweet resamples z_k (Eq. 9) and ν_k (Eq. 6) for one tweeting
 // relationship, with the same counts-only-while-location-based convention
 // as updateEdge.
-func (m *Model) updateTweet(k int) {
+func (m *Model) updateTweet(ctx *sweepCtx, k int) {
 	t := m.corpus.Tweets[k]
 	cand := m.cands.cand[t.User]
 	gamma := m.cands.gamma[t.User]
@@ -225,17 +229,17 @@ func (m *Model) updateTweet(k int) {
 	if counted {
 		phi[zi]--
 		m.phiSum[t.User]--
-		m.removeVenue(cand[zi], t.Venue)
+		ctx.removeVenue(cand[zi], t.Venue)
 	}
-	weights := m.buf(len(cand))
+	weights := ctx.buf(len(cand))
 	for c := range cand {
 		w := phi[c] + gamma[c]
 		if counted {
-			w *= m.psi(cand[c], t.Venue)
+			w *= ctx.psi(cand[c], t.Venue)
 		}
 		weights[c] = w
 	}
-	zi = randutil.Categorical(m.rng, weights)
+	zi = randutil.Categorical(ctx.rng, weights)
 	if zi < 0 {
 		zi = int(m.tz[k])
 	}
@@ -243,7 +247,7 @@ func (m *Model) updateTweet(k int) {
 	if counted {
 		phi[zi]++
 		m.phiSum[t.User]++
-		m.addVenue(cand[zi], t.Venue)
+		ctx.addVenue(cand[zi], t.Venue)
 	}
 
 	// --- ν_k (Eq. 6) ---
@@ -252,14 +256,14 @@ func (m *Model) updateTweet(k int) {
 	}
 	z := cand[zi]
 	if counted {
-		m.removeVenue(z, t.Venue) // exclude self before computing ψ̂
+		ctx.removeVenue(z, t.Venue) // exclude self before computing ψ̂
 	}
 	thetaZ := m.theta(t.User, zi, counted)
 	p1 := m.cfg.RhoT * m.tr[t.Venue]
-	p0 := (1 - m.cfg.RhoT) * thetaZ * m.psi(z, t.Venue)
-	noisy := randutil.Bernoulli(m.rng, p1/(p0+p1))
+	p0 := (1 - m.cfg.RhoT) * thetaZ * ctx.psi(z, t.Venue)
+	noisy := randutil.Bernoulli(ctx.rng, p1/(p0+p1))
 	if counted {
-		m.addVenue(z, t.Venue)
+		ctx.addVenue(z, t.Venue)
 	}
 	if noisy == m.nu[k] {
 		return
@@ -268,11 +272,11 @@ func (m *Model) updateTweet(k int) {
 	if noisy {
 		phi[zi]--
 		m.phiSum[t.User]--
-		m.removeVenue(z, t.Venue)
+		ctx.removeVenue(z, t.Venue)
 	} else {
 		phi[zi]++
 		m.phiSum[t.User]++
-		m.addVenue(z, t.Venue)
+		ctx.addVenue(z, t.Venue)
 	}
 }
 
@@ -406,8 +410,11 @@ func (m *Model) labeledPairHistogram(min, ratio float64, bins int) *stats.Histog
 	for i := 0; i < samples; i++ {
 		a := labeled[m.rng.Intn(nL)]
 		b := labeled[m.rng.Intn(nL)]
-		if a == b {
-			continue
+		for b == a {
+			// Resample on collision so every iteration contributes one
+			// uniform ordered pair and the totalPairs/samples scale stays
+			// exact (skipping would under-weight the histogram by ~1/nL).
+			b = labeled[m.rng.Intn(nL)]
 		}
 		d := m.dc.miles(m.corpus.Users[a].Home, m.corpus.Users[b].Home)
 		if d < min {

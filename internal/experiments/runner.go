@@ -40,6 +40,11 @@ type Options struct {
 	// benchmarks use 1 for wall-clock sanity.
 	FoldLimit  int
 	Iterations int // Gibbs sweeps per fit (default 15)
+	// Workers is the per-fit Gibbs worker count handed to core.Config.
+	// Zero means GOMAXPROCS for single-fold and full-corpus fits, but 1
+	// inside a multi-fold CV pass, whose folds already run concurrently
+	// (see foldWorkers).
+	Workers int
 	// DisableGibbsEM turns off the (α, β) refinement (on by default).
 	DisableGibbsEM bool
 }
@@ -61,6 +66,19 @@ func (o Options) withDefaults() Options {
 		o.Iterations = 15
 	}
 	return o
+}
+
+// foldWorkers is the per-fit worker count inside the CV pass. Folds
+// already fan out across GOMAXPROCS, so unless the caller asked for a
+// specific count, concurrent folds run sequential sweeps — avoiding
+// folds×GOMAXPROCS oversubscription and keeping the CV pass
+// machine-independent for a fixed seed. Single-fold runs (the benches)
+// and the full-corpus fit keep the GOMAXPROCS default.
+func (r *Runner) foldWorkers() int {
+	if r.opts.Workers == 0 && r.opts.FoldLimit > 1 {
+		return 1
+	}
+	return r.opts.Workers
 }
 
 // Runner generates the world once and lazily computes each experiment,
@@ -212,6 +230,7 @@ func (r *Runner) runFold(f int, test []dataset.UserID) (*foldResult, error) {
 			Seed:       r.opts.Seed + 1000 + int64(f),
 			Iterations: r.opts.Iterations,
 			Variant:    variant,
+			Workers:    r.foldWorkers(),
 			GibbsEM:    !r.opts.DisableGibbsEM,
 		}
 		if name == MethodMLP && f == 0 {
@@ -281,6 +300,7 @@ func (r *Runner) ensureFull() error {
 	m, err := core.Fit(&r.data.Corpus, core.Config{
 		Seed:       r.opts.Seed + 7777,
 		Iterations: r.opts.Iterations,
+		Workers:    r.opts.Workers,
 		GibbsEM:    !r.opts.DisableGibbsEM,
 	})
 	if err != nil {

@@ -1,0 +1,78 @@
+package randutil
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The sampler hands SplitMix64 to rand.New, which prefers the Uint64 path
+// when the source implements Source64.
+var _ rand.Source64 = (*SplitMix64)(nil)
+
+func TestStreamReproducible(t *testing.T) {
+	a := Stream(42, 3)
+	b := Stream(42, 3)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same (seed, stream) diverged at draw %d", i)
+		}
+	}
+}
+
+func TestStreamsIndependent(t *testing.T) {
+	// Distinct streams of one seed (and the same stream of distinct seeds)
+	// must not collide or be shifted copies of one another.
+	const n = 512
+	seen := map[uint64][2]int{}
+	for stream := 0; stream < 8; stream++ {
+		src := NewStreamSource(7, uint64(stream))
+		for i := 0; i < n; i++ {
+			v := src.Uint64()
+			if prev, dup := seen[v]; dup {
+				t.Fatalf("stream %d draw %d collides with stream %d draw %d", stream, i, prev[0], prev[1])
+			}
+			seen[v] = [2]int{stream, i}
+		}
+	}
+	s0 := NewStreamSource(7, 0)
+	s1 := NewStreamSource(8, 0)
+	for i := 0; i < n; i++ {
+		if s0.Uint64() == s1.Uint64() {
+			t.Fatalf("seeds 7 and 8 collide at draw %d", i)
+		}
+	}
+}
+
+func TestStreamUniformity(t *testing.T) {
+	rng := Stream(1, 9)
+	const n = 200000
+	var sum float64
+	buckets := make([]int, 10)
+	for i := 0; i < n; i++ {
+		u := rng.Float64()
+		sum += u
+		buckets[int(u*10)]++
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.005 {
+		t.Errorf("mean %f, want ~0.5", mean)
+	}
+	for b, c := range buckets {
+		if f := float64(c) / n; math.Abs(f-0.1) > 0.01 {
+			t.Errorf("bucket %d frequency %f, want ~0.1", b, f)
+		}
+	}
+}
+
+func TestSplitMix64Seed(t *testing.T) {
+	s := NewSplitMix64(5)
+	first := s.Uint64()
+	s.Uint64()
+	s.Seed(5)
+	if got := s.Uint64(); got != first {
+		t.Errorf("Seed(5) did not reset the sequence: %x vs %x", got, first)
+	}
+	if s.Int63() < 0 {
+		t.Error("Int63 returned a negative value")
+	}
+}
