@@ -284,25 +284,89 @@ func BenchmarkAblationBlockedSampler(b *testing.B) {
 
 // --- Micro-benchmarks of the hot paths ---
 
+// benchDistModes is the DistTable axis of the sampler benchmarks: the
+// exact reference path vs the quantized distance table (the default).
+var benchDistModes = []struct {
+	name string
+	mode core.DistTableMode
+}{
+	{"exact", core.DistTableOff},
+	{"table", core.DistTableOn},
+}
+
 // BenchmarkGibbsSweep measures raw sampler throughput: relationships
-// resampled per second on the bench world, for the exact sequential
-// sampler (workers=1) and the partitioned parallel sweep at GOMAXPROCS.
-// The ratio of the two is the sweep speedup on this machine.
+// resampled per second on the bench world, across the full execution
+// matrix — per-variable vs blocked edge kernel, exact vs distance-table
+// d^α, sequential vs partitioned parallel sweep. The table/exact ratio
+// on one kernel is the distance-table speedup; the blocked/exact leg at
+// the default MaxCandidates=40 is the O(|cand|²) wall the ROADMAP called
+// unusable, and blocked/table is what the pruned factored kernel makes
+// of it.
 func BenchmarkGibbsSweep(b *testing.B) {
 	d, test := ablationSetup(b)
 	c := d.Corpus.WithUsers(d.Corpus.HideLabels(test))
 	rels := len(c.Edges) + len(c.Tweets)
-	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
-		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+	workerCounts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, kernel := range []struct {
+		name    string
+		blocked bool
+	}{{"pervar", false}, {"blocked", true}} {
+		for _, dist := range benchDistModes {
+			for _, workers := range workerCounts {
+				name := fmt.Sprintf("kernel=%s/dist=%s/workers=%d", kernel.name, dist.name, workers)
+				b.Run(name, func(b *testing.B) {
+					// 8 sweeps per fit and a reduced init pair sample, so
+					// the op measures sweep throughput rather than the
+					// per-fit setup; cmd/mlpbench separates the two
+					// exactly.
+					const sweeps = 8
+					for i := 0; i < b.N; i++ {
+						cfg := core.Config{Seed: int64(i), Iterations: sweeps, NoiseBurnIn: 1,
+							EMPairSample: 20000, Workers: workers,
+							BlockedSampler: kernel.blocked, DistTable: dist.mode}
+						if _, err := core.Fit(c, cfg); err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.ReportMetric(float64(rels*sweeps*b.N)/b.Elapsed().Seconds(), "rels/s")
+				})
+			}
+		}
+	}
+}
+
+// benchEdgeKernel isolates the edge kernel: a FollowingOnly fit on the
+// bench world (no tweet phase), several sweeps so the per-fit setup
+// (gazetteer table build, candidates, init) amortizes.
+func benchEdgeKernel(b *testing.B, mode core.DistTableMode) {
+	d, test := ablationSetup(b)
+	c := d.Corpus.WithUsers(d.Corpus.HideLabels(test))
+	const sweeps = 4
+	for _, kernel := range []struct {
+		name    string
+		blocked bool
+	}{{"pervar", false}, {"blocked", true}} {
+		b.Run(kernel.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := core.Fit(c, core.Config{Seed: int64(i), Iterations: 1, NoiseBurnIn: 1, Workers: workers}); err != nil {
+				cfg := core.Config{Seed: 9, Variant: core.FollowingOnly, Iterations: sweeps,
+					BlockedSampler: kernel.blocked, DistTable: mode}
+				if _, err := core.Fit(c, cfg); err != nil {
 					b.Fatal(err)
 				}
 			}
-			b.ReportMetric(float64(rels), "rels/sweep")
+			b.ReportMetric(float64(len(c.Edges)*sweeps), "edge-updates/op")
 		})
 	}
 }
+
+// BenchmarkEdgeKernelExact / BenchmarkEdgeKernelTable are the
+// benchmark-regression guard pair for the distance-table work: track
+// their ratio (see cmd/mlpbench for the JSON trail).
+func BenchmarkEdgeKernelExact(b *testing.B) { benchEdgeKernel(b, core.DistTableOff) }
+func BenchmarkEdgeKernelTable(b *testing.B) { benchEdgeKernel(b, core.DistTableOn) }
 
 // BenchmarkFitWorkers runs a full multi-sweep fit (noise mixture and
 // Gibbs-EM on) at both worker counts — the end-to-end wall-clock number

@@ -1,0 +1,140 @@
+// Command mlpbench runs the sampler benchmark matrix — edge kernel ×
+// distance mode × worker count — on a synthetic world and writes the
+// results as JSON, so the performance trajectory is tracked as a
+// checked-in artifact from PR to PR instead of scrollback.
+//
+// Usage:
+//
+//	mlpbench                                  # bench world, BENCH_sampler.json
+//	mlpbench -users 2000 -sweeps 10 -out BENCH_big.json
+//
+// Each matrix cell is measured as two fits — one initialization-only and
+// one with -sweeps Gibbs iterations — so the reported per-sweep time
+// excludes the world-dependent setup (candidate construction, distance
+// table build, power-law init).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"mlprofile/internal/core"
+	"mlprofile/internal/dataset"
+	"mlprofile/internal/synth"
+)
+
+// Result is one benchmark matrix cell.
+type Result struct {
+	Name         string  `json:"name"`
+	Kernel       string  `json:"kernel"`
+	Dist         string  `json:"dist"`
+	Workers      int     `json:"workers"`
+	InitSeconds  float64 `json:"init_seconds"`
+	SweepSeconds float64 `json:"sweep_seconds"`
+	RelsPerSec   float64 `json:"rels_per_sec"`
+}
+
+// Report is the emitted JSON document.
+type Report struct {
+	Generated  string   `json:"generated"`
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Users      int      `json:"users"`
+	Locations  int      `json:"locations"`
+	Edges      int      `json:"edges"`
+	Tweets     int      `json:"tweets"`
+	Sweeps     int      `json:"sweeps"`
+	Results    []Result `json:"results"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mlpbench: ")
+
+	var (
+		users     = flag.Int("users", 700, "world size in users")
+		locations = flag.Int("locations", 200, "gazetteer size")
+		seed      = flag.Int64("seed", 5, "world + sampler seed")
+		sweeps    = flag.Int("sweeps", 5, "measured Gibbs sweeps per cell")
+		out       = flag.String("out", "BENCH_sampler.json", "output JSON path")
+	)
+	flag.Parse()
+
+	d, err := synth.Generate(synth.Config{Seed: *seed, NumUsers: *users, NumLocations: *locations})
+	if err != nil {
+		log.Fatal(err)
+	}
+	test := dataset.KFold(len(d.Corpus.Users), 5, 99)[0]
+	c := d.Corpus.WithUsers(d.Corpus.HideLabels(test))
+	rels := len(c.Edges) + len(c.Tweets)
+
+	rep := Report{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Users:      *users,
+		Locations:  *locations,
+		Edges:      len(c.Edges),
+		Tweets:     len(c.Tweets),
+		Sweeps:     *sweeps,
+	}
+
+	workerCounts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, kernel := range []struct {
+		name    string
+		blocked bool
+	}{{"pervar", false}, {"blocked", true}} {
+		for _, dist := range []struct {
+			name string
+			mode core.DistTableMode
+		}{{"exact", core.DistTableOff}, {"table", core.DistTableOn}} {
+			for _, workers := range workerCounts {
+				cfg := core.Config{Seed: *seed, NoiseBurnIn: 1, Workers: workers,
+					BlockedSampler: kernel.blocked, DistTable: dist.mode}
+				timeFit := func(iters int) float64 {
+					cfg.Iterations = iters
+					start := time.Now()
+					if _, err := core.Fit(c, cfg); err != nil {
+						log.Fatal(err)
+					}
+					return time.Since(start).Seconds()
+				}
+				t1 := timeFit(1)
+				tN := timeFit(1 + *sweeps)
+				perSweep := (tN - t1) / float64(*sweeps)
+				if perSweep <= 0 {
+					perSweep = t1 // degenerate tiny worlds; fall back to the full fit
+				}
+				r := Result{
+					Name:         fmt.Sprintf("kernel=%s/dist=%s/workers=%d", kernel.name, dist.name, workers),
+					Kernel:       kernel.name,
+					Dist:         dist.name,
+					Workers:      workers,
+					InitSeconds:  t1,
+					SweepSeconds: perSweep,
+					RelsPerSec:   float64(rels) / perSweep,
+				}
+				rep.Results = append(rep.Results, r)
+				log.Printf("%-40s sweep %8.2fms  %10.0f rels/s", r.Name, perSweep*1e3, r.RelsPerSec)
+			}
+		}
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", *out)
+}

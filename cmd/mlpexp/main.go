@@ -15,6 +15,7 @@ import (
 	"os"
 	"strings"
 
+	"mlprofile/internal/core"
 	"mlprofile/internal/experiments"
 )
 
@@ -32,6 +33,7 @@ func main() {
 		iters     = flag.Int("iterations", 15, "Gibbs iterations per fit")
 		workers   = flag.Int("workers", 0, "Gibbs sweep goroutines per fit (0 = GOMAXPROCS, except 1 inside a multi-fold CV pass; 1 = exact sequential sampler)")
 		noEM      = flag.Bool("no-em", false, "disable Gibbs-EM refinement")
+		dtable    = flag.Bool("disttable", true, "serve d^alpha from the quantized distance table (false = exact per-pair evaluation)")
 	)
 	flag.Parse()
 
@@ -44,6 +46,7 @@ func main() {
 		Iterations:     *iters,
 		Workers:        *workers,
 		DisableGibbsEM: *noEM,
+		DistTable:      core.DistTableFor(*dtable),
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -35,6 +35,7 @@ func main() {
 		topK    = flag.Int("top", 3, "profile locations per user to emit")
 		em      = flag.Bool("em", true, "refine (alpha, beta) with Gibbs-EM")
 		workers = flag.Int("workers", 0, "Gibbs sweep goroutines (0 = GOMAXPROCS; 1 = exact sequential sampler)")
+		dtable  = flag.Bool("disttable", true, "serve d^alpha from the quantized distance table (false = exact per-pair evaluation)")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -66,6 +67,7 @@ func main() {
 		Variant:    v,
 		Workers:    *workers,
 		GibbsEM:    *em,
+		DistTable:  core.DistTableFor(*dtable),
 	})
 	if err != nil {
 		log.Fatal(err)

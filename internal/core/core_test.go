@@ -25,6 +25,16 @@ func testWorld(t testing.TB, seed int64) *dataset.Dataset {
 	return d
 }
 
+// skipIfShort gates the slow recovery/property tests (multi-fit, full
+// worlds) out of `go test -short`; the smoke variants below cover the
+// same behaviors at reduced scale for the fast CI leg.
+func skipIfShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("slow recovery test; run without -short")
+	}
+}
+
 // fitFold hides the labels of one CV fold and fits the model.
 func fitFold(t testing.TB, d *dataset.Dataset, cfg Config) (*Model, []dataset.UserID) {
 	t.Helper()
@@ -170,6 +180,7 @@ func TestDeterminismAcrossRuns(t *testing.T) {
 // solid majority of held-out users within 100 miles on a world generated
 // from its own model family.
 func TestHomePredictionRecovery(t *testing.T) {
+	skipIfShort(t)
 	d := testWorld(t, 4)
 	m, test := fitFold(t, d, Config{Seed: 7, Iterations: 15})
 	acc := accAt100(d, m, test)
@@ -181,6 +192,7 @@ func TestHomePredictionRecovery(t *testing.T) {
 // TestVariantOrdering: MLP (both resources) should not be substantially
 // worse than either single-resource variant, mirroring Table 2's ordering.
 func TestVariantOrdering(t *testing.T) {
+	skipIfShort(t)
 	d := testWorld(t, 4)
 	accs := map[Variant]float64{}
 	for _, v := range []Variant{Full, FollowingOnly, TweetingOnly} {
@@ -214,6 +226,7 @@ func TestVariantExplanationAvailability(t *testing.T) {
 // TestNoiseRecovery: the mixture selectors should flag roughly the true
 // fraction of noise relationships.
 func TestNoiseRecovery(t *testing.T) {
+	skipIfShort(t)
 	d := testWorld(t, 5)
 	m, _ := fitFold(t, d, Config{Seed: 13, Iterations: 12})
 	edgeNoise, tweetNoise := m.NoiseStats()
@@ -324,6 +337,7 @@ func TestLabeledUsersKeepObservedHome(t *testing.T) {
 // location should appear in the top-2 predictions much more often than by
 // chance.
 func TestMultiLocationDiscovery(t *testing.T) {
+	skipIfShort(t)
 	d := testWorld(t, 6)
 	// Fit with all labels visible — discovery of *secondary* locations is
 	// the point here (the home is supervised).
@@ -353,6 +367,7 @@ func TestMultiLocationDiscovery(t *testing.T) {
 // TestGibbsEMRefinesAlpha: with EM enabled the exponent must move off its
 // initialization and stay in the plausible decay band.
 func TestGibbsEMRefinesAlpha(t *testing.T) {
+	skipIfShort(t)
 	d := testWorld(t, 4)
 	init := -0.9 // deliberately wrong initialization
 	m, _ := fitFold(t, d, Config{Seed: 17, Iterations: 10, Alpha: init, GibbsEM: true, EMInterval: 3, EMPairSample: 50000})
@@ -372,6 +387,7 @@ func TestGibbsEMRefinesAlpha(t *testing.T) {
 // TestBlockedSamplerAgrees: the blocked ablation should reach comparable
 // accuracy to the sequential sampler.
 func TestBlockedSamplerAgrees(t *testing.T) {
+	skipIfShort(t)
 	d := testWorld(t, 4)
 	seq, test := fitFold(t, d, Config{Seed: 19, Iterations: 10})
 	blk, _ := fitFold(t, d, Config{Seed: 19, Iterations: 10, BlockedSampler: true})
@@ -411,6 +427,7 @@ func TestNoiseMixtureAblation(t *testing.T) {
 // drop relative to the supervised model (the "anchoring" argument of
 // Sec. 4.3).
 func TestSupervisionAblation(t *testing.T) {
+	skipIfShort(t)
 	d := testWorld(t, 4)
 	sup, test := fitFold(t, d, Config{Seed: 29, Iterations: 10})
 	unsup, _ := fitFold(t, d, Config{Seed: 29, Iterations: 10, DisableSupervision: true})
@@ -451,6 +468,7 @@ func TestOnIterationCallback(t *testing.T) {
 // one multi-location endpoint, MLP's assignments should land within 100
 // miles of the true assignments well above chance.
 func TestRelationshipExplanationBeatsChance(t *testing.T) {
+	skipIfShort(t)
 	d := testWorld(t, 6)
 	m, err := Fit(&d.Corpus, Config{Seed: 31, Iterations: 15})
 	if err != nil {
@@ -483,6 +501,27 @@ func TestRelationshipExplanationBeatsChance(t *testing.T) {
 	t.Logf("relationship explanation ACC@100 = %.3f over %d edges", acc, total)
 	if acc < 0.35 {
 		t.Errorf("relationship accuracy %.3f too low", acc)
+	}
+}
+
+// TestHomePredictionRecoverySmoke is the -short leg of the recovery
+// suite: a reduced world and sweep count, looser bar, same behavior —
+// MLP must still place a majority of held-out users within 100 miles.
+func TestHomePredictionRecoverySmoke(t *testing.T) {
+	d, err := synth.Generate(synth.Config{Seed: 45, NumUsers: 350, NumLocations: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	folds := dataset.KFold(len(d.Corpus.Users), 5, 99)
+	c := d.Corpus.WithUsers(d.Corpus.HideLabels(folds[0]))
+	m, err := Fit(c, Config{Seed: 7, Iterations: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := accAt100(d, m, folds[0])
+	t.Logf("smoke ACC@100 = %.3f", acc)
+	if acc < 0.45 {
+		t.Errorf("smoke MLP ACC@100 = %.3f, want >= 0.45", acc)
 	}
 }
 

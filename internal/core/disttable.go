@@ -1,0 +1,282 @@
+package core
+
+import (
+	"math"
+
+	"mlprofile/internal/gazetteer"
+	"mlprofile/internal/randutil"
+)
+
+// This file implements the two-level distance-amortization subsystem
+// behind Config.DistTable (see DESIGN.md §7). The relationship factor
+// d(x,y)^α is the sampler's dominant cost: the exact path pays a
+// haversine, a log and an exp per candidate pair per edge per sweep. The
+// distTable pays them once per distinct quantity instead:
+//
+//   level 1 — powTab: logMiles is quantized into fixed-width bins, the
+//   distinct bins present among the gazetteer's city pairs are compacted
+//   into dense ids, and d^α = exp(α·binRep) is memoized once per
+//   (bin, α-epoch). The table is rebuilt (one exp per distinct bin)
+//   whenever Gibbs-EM moves α.
+//
+//   level 2 — pairBin: the bin of a city pair never changes, so for
+//   gazetteers up to maxDensePairCities the full L×L compact-bin matrix
+//   is precomputed once per fit and the hot path reduces to two array
+//   loads. Larger gazetteers fall back to quantizing per lookup, which
+//   keeps the semantics (and the per-edge caches) without the dense
+//   matrix.
+//
+// Everything the table serves is draw-for-draw aligned with the exact
+// path: the kernels consume the RNG in the same order with the same
+// number of draws, so a DistTable fit shadows the exact fit and can only
+// diverge where quantization flips an inversion draw — the property the
+// equivalence test layer (equivalence_test.go) locks down. That coupling
+// is also why logBinWidth is far finer than the amortization needs: a
+// single flipped draw perturbs two users' counts, the next Gibbs-EM
+// refit amplifies the perturbed assignments into a shifted α, and the
+// chains drift apart wholesale (measured: one flipped edge out of ~1600
+// cost two points of top-1 agreement). Compacted bin ids make the fine
+// width free: table size tracks the number of distinct city-pair bins,
+// not the bin count.
+
+const (
+	// logBinWidth is the width of one log-distance bin in nats. The bin
+	// representative is the bin center k·logBinWidth, so the worst-case
+	// relative error of a memoized d^α is |α|·logBinWidth/2 — ~3·10⁻¹⁰ at
+	// the paper's α=−0.55. The blocked kernel accumulates per-pair
+	// quantization error across ~nI·nJ inversion boundaries per draw
+	// (measured: ~0.3 flipped draws per fit at a 10⁻⁷ width), so the
+	// width is set two orders finer, pushing the expected flips per fit
+	// to ~10⁻³ and letting the DistTable chain shadow the exact chain end
+	// to end. Compacted bin ids make the fine width free: table size
+	// tracks distinct city-pair bins, not the bin count.
+	//
+	// Bin 0 is pinned to the paper's 1-mile measurement floor: every pair
+	// with logMiles < logBinWidth/2 — in particular every sub-mile pair,
+	// whose clamped log-distance is exactly 0 — lands in bin 0 with
+	// representative log 0, so the table reproduces d^α = 1 exactly where
+	// the exact path clamps (locked by TestDistTableSubMileClamp).
+	logBinWidth = 1e-9
+
+	// maxDensePairCities caps the dense L×L pair-bin matrix: 2048 cities
+	// hold 2048²×4B = 16 MiB and cost ~2M haversines (a few hundred ms,
+	// paid once per fit) to fill. Beyond that, bins are quantized per
+	// lookup without memoization.
+	maxDensePairCities = 2048
+)
+
+// distTable memoizes the power-law factor over quantized log-distances.
+// It is built once per fit; powTab is rebuilt in place on every α-epoch.
+// All methods except setAlpha are read-only and safe for concurrent use
+// by the sweep workers (setAlpha only runs between sweeps).
+type distTable struct {
+	dc    *distCalc
+	L     int
+	alpha float64
+
+	// pairBin[a*L+b] is the compact bin id of city pair (a, b); nil above
+	// maxDensePairCities. Symmetric, diagonal in the logMiles=0 bin.
+	pairBin []uint32
+
+	// binRep[id] is the representative log-distance (bin center) of
+	// compact bin id; powTab[id] = exp(alpha·binRep[id]) for the current
+	// α-epoch.
+	binRep []float64
+	powTab []float64
+
+	// epoch counts α updates; per-edge caches compare against it to
+	// invalidate their static sums.
+	epoch uint32
+}
+
+// newDistTable builds the pair-bin level for the gazetteer behind dc.
+// powTab is not valid until the first setAlpha call.
+func newDistTable(dc *distCalc, L int) *distTable {
+	t := &distTable{dc: dc, L: L}
+	if L > maxDensePairCities {
+		return t
+	}
+
+	// Quantize every pair and compact the distinct raw bins into dense
+	// ids on the fly (deterministic encounter order), so powTab and
+	// binRep scale with the number of distinct city-pair bins regardless
+	// of bin width and the build allocates nothing transient beyond the
+	// id map. Raw bins are 64-bit — the fine width overflows uint32 —
+	// but they only live as map keys. The diagonal stays at bin 0
+	// (logMiles 0), registered first so id 0 is always the clamp bin.
+	t.pairBin = make([]uint32, L*L)
+	ids := make(map[uint64]uint32, L)
+	idOf := func(bin uint64) uint32 {
+		id, ok := ids[bin]
+		if !ok {
+			id = uint32(len(t.binRep))
+			ids[bin] = id
+			t.binRep = append(t.binRep, float64(bin)*logBinWidth)
+		}
+		return id
+	}
+	idOf(0)
+	for a := 0; a < L; a++ {
+		for b := a + 1; b < L; b++ {
+			id := idOf(uint64(binOfLog(dc.logMiles(gazetteer.CityID(a), gazetteer.CityID(b)))))
+			t.pairBin[a*L+b] = id
+			t.pairBin[b*L+a] = id
+		}
+	}
+	return t
+}
+
+// binOfLog maps a clamped log-distance to its raw bin: round(lm/width).
+// lm = 0 (any sub-mile pair) maps to bin 0, whose representative is
+// log 0 — the same value the exact path's clamp produces. Raw bins
+// reach ~9.4e9 at the fine width, so they are int64 on every platform.
+func binOfLog(lm float64) int64 {
+	return int64(lm/logBinWidth + 0.5)
+}
+
+// quantLog is the quantized log-distance itself (the representative of
+// lm's bin) — what the fallback path feeds exp directly.
+func quantLog(lm float64) float64 {
+	return float64(binOfLog(lm)) * logBinWidth
+}
+
+// setAlpha starts a new α-epoch: powTab is recomputed for the new
+// exponent and the epoch counter advances, invalidating every per-edge
+// cache lazily. Must not run concurrently with a sweep.
+func (t *distTable) setAlpha(alpha float64) {
+	t.alpha = alpha
+	if t.binRep != nil {
+		if t.powTab == nil {
+			t.powTab = make([]float64, len(t.binRep))
+		}
+		for i, lm := range t.binRep {
+			t.powTab[i] = math.Exp(alpha * lm)
+		}
+	}
+	t.epoch++
+}
+
+// pow returns the memoized d(a,b)^α for the current α-epoch: two array
+// loads in dense mode, a quantized exact evaluation in fallback mode.
+func (t *distTable) pow(a, b gazetteer.CityID) float64 {
+	if t.pairBin != nil {
+		return t.powTab[t.pairBin[int(a)*t.L+int(b)]]
+	}
+	return math.Exp(t.alpha * quantLog(t.dc.logMiles(a, b)))
+}
+
+// row returns city a's dense compact-bin row, or nil in fallback mode.
+// Kernels hold the fixed endpoint's row so the per-candidate lookup is a
+// single in-row load (the matrix is symmetric, so row-major access works
+// for either side of the pair).
+func (t *distTable) row(a gazetteer.CityID) []uint32 {
+	if t.pairBin == nil {
+		return nil
+	}
+	return t.pairBin[int(a)*t.L : int(a)*t.L+t.L]
+}
+
+// pow returns d(a,b)^α as the sampler sees it: memoized and quantized
+// when the distance table is on, exact otherwise.
+func (m *Model) pow(a, b gazetteer.CityID) float64 {
+	if m.dt != nil {
+		return m.dt.pow(a, b)
+	}
+	return m.dc.powDist(a, b, m.alpha)
+}
+
+// edgeCache is the per-edge static piece of the pruned blocked kernel's
+// factored pair weights (see updateEdgeBlockedTable). For edge (I, J)
+// with candidate sets candI/candJ it holds, per α-epoch,
+//
+//	gRow[i] = Σ_j γ_J[j] · d(candI[i], candJ[j])^α
+//
+// — the prior-side row sums of the pair-weight matrix. The dynamic part
+// of a row sum touches only candidates with non-zero profile counts, so
+// the per-sweep setup is O(nI + nJ + nI·kJ) with kJ = |supp ϕ_J| instead
+// of the exact kernel's O(nI·nJ) pow calls.
+//
+// alias is a Walker table over the fully static W0 pair distribution
+// γ_I[i]·γ_J[j]·d^α, built on demand (drawStaticPair) for the same
+// α-epoch. It yields O(1) pair draws but costs two uniforms per draw
+// where the exact kernel spends one, so the coupled sampler cannot use
+// it (see DESIGN.md §7); it serves uncoupled callers and the kernel
+// micro-benchmarks as the draw-cost floor.
+type edgeCache struct {
+	epoch uint32
+	gRow  []float64
+
+	aliasEpoch uint32
+	alias      *randutil.Alias
+}
+
+// edgeCacheFor returns edge s's cache, rebuilding its static row sums if
+// the α-epoch moved. Within one sweep every edge is visited by exactly
+// one worker, and sweeps are separated by barriers, so the lazy rebuild
+// needs no synchronization.
+func (m *Model) edgeCacheFor(s int, candI, candJ []gazetteer.CityID, gammaJ []float64) *edgeCache {
+	ec := &m.etab[s]
+	if ec.epoch == m.dt.epoch {
+		return ec
+	}
+	if ec.gRow == nil {
+		ec.gRow = make([]float64, len(candI))
+	}
+	pt := m.dt.powTab
+	for i, ci := range candI {
+		var sum float64
+		if row := m.dt.row(ci); row != nil {
+			for j, cj := range candJ {
+				sum += gammaJ[j] * pt[row[cj]]
+			}
+		} else {
+			for j, cj := range candJ {
+				sum += gammaJ[j] * m.dt.pow(ci, cj)
+			}
+		}
+		ec.gRow[i] = sum
+	}
+	ec.epoch = m.dt.epoch
+	return ec
+}
+
+// drawStaticPair draws a candidate pair (i, j) from the static W0
+// distribution γ_I[i]·γ_J[j]·d(candI[i], candJ[j])^α in O(1) via the
+// edge's Walker alias table, building the table on first use per
+// α-epoch. ok is false when the static weights are degenerate (possible
+// only if α or γ went NaN — the alias table cannot be built, and no
+// draw is made). Not used by the coupled sampler (its two-uniform draw
+// would desynchronize the chain from the exact path); exposed for
+// uncoupled consumers and the draw-cost micro-benchmarks.
+func (m *Model) drawStaticPair(ctx *sweepCtx, s int) (i, j int, ok bool) {
+	e := m.corpus.Edges[s]
+	candI := m.cands.cand[e.From]
+	candJ := m.cands.cand[e.To]
+	ec := &m.etab[s]
+	if ec.alias == nil || ec.aliasEpoch != m.dt.epoch {
+		gI := m.cands.gamma[e.From]
+		gJ := m.cands.gamma[e.To]
+		nJ := len(candJ)
+		w := make([]float64, len(candI)*nJ)
+		for i, ci := range candI {
+			row := m.dt.row(ci)
+			for j, cj := range candJ {
+				var p float64
+				if row != nil {
+					p = m.dt.powTab[row[cj]]
+				} else {
+					p = m.dt.pow(ci, cj)
+				}
+				w[i*nJ+j] = gI[i] * gJ[j] * p
+			}
+		}
+		a, err := randutil.NewAlias(w)
+		if err != nil {
+			return 0, 0, false
+		}
+		ec.alias = a
+		ec.aliasEpoch = m.dt.epoch
+	}
+	p := ec.alias.Draw(ctx.rng)
+	return p / len(candJ), p % len(candJ), true
+}

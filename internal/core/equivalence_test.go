@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"mlprofile/internal/dataset"
+	"mlprofile/internal/synth"
+)
+
+// The equivalence layer: fixed-seed fits with the distance table on vs
+// off must shadow each other. Both paths consume randomness draw-for-draw
+// identically, so the chains stay coupled and can only diverge where
+// quantization (|α|·logBinWidth/2 relative error on a pair weight) flips
+// an inversion draw. These tests lock the observable consequences:
+// near-total top-1 agreement and an α refit within quantization
+// tolerance, across structurally different worlds and both edge kernels.
+
+// equivAgreementMin is the required fraction of users whose predicted
+// top-1 city is identical under the two paths. Independent chains on the
+// same worlds agree only ~94–95% (measured); the coupled fast path must
+// do much better — treat a drop below 99% as a decoupling regression
+// (RNG consumption or inversion order drifted), not as noise.
+const equivAgreementMin = 0.99
+
+// equivAlphaTol bounds |α_table − α_exact| after Gibbs-EM. The refit
+// measures exact distances on both paths; the tolerance covers the
+// assignment wiggle the weight quantization can induce.
+const equivAlphaTol = 0.05
+
+// equivWorlds are the three synthetic regimes the equivalence claim is
+// tested on: a sparse following graph (little evidence per user, long
+// phi tails), a tweet-heavy corpus (edge kernel rarely dominant), and
+// the default mixed regime.
+func equivWorlds() []struct {
+	name string
+	cfg  synth.Config
+} {
+	return []struct {
+		name string
+		cfg  synth.Config
+	}{
+		{"sparse-graph", synth.Config{Seed: 101, NumUsers: 500, NumLocations: 150, MeanFriends: 5, MeanTweets: 3}},
+		{"tweet-heavy", synth.Config{Seed: 102, NumUsers: 400, NumLocations: 150, MeanFriends: 4, MeanTweets: 40}},
+		{"mixed", synth.Config{Seed: 103, NumUsers: 500, NumLocations: 200}},
+	}
+}
+
+// fitEquivPair runs the same fold/seed fit with the table off and on and
+// returns both models.
+func fitEquivPair(t *testing.T, wcfg synth.Config, cfg Config) (exact, table *Model, c *dataset.Corpus) {
+	t.Helper()
+	d, err := synth.Generate(wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	folds := dataset.KFold(len(d.Corpus.Users), 5, 99)
+	c = d.Corpus.WithUsers(d.Corpus.HideLabels(folds[0]))
+
+	cfg.DistTable = DistTableOff
+	exact, err = Fit(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.DistTable = DistTableOn
+	table, err = Fit(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return exact, table, c
+}
+
+// top1Agreement is the fraction of users predicting the same top-1 city.
+func top1Agreement(exact, table *Model, c *dataset.Corpus) float64 {
+	agree := 0
+	for u := range c.Users {
+		if exact.Home(dataset.UserID(u)) == table.Home(dataset.UserID(u)) {
+			agree++
+		}
+	}
+	return float64(agree) / float64(len(c.Users))
+}
+
+// TestDistTableEquivalence is the headline property test: on every world
+// and for both edge kernels, table-on vs table-off fits with the same
+// seed agree on ≥99% of top-1 predictions, and Gibbs-EM refits α to
+// within quantization tolerance.
+func TestDistTableEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("equivalence property tests run full fits; skipped in -short")
+	}
+	for _, kernel := range []struct {
+		name    string
+		blocked bool
+	}{{"per-variable", false}, {"blocked", true}} {
+		for _, w := range equivWorlds() {
+			t.Run(fmt.Sprintf("%s/%s", kernel.name, w.name), func(t *testing.T) {
+				cfg := Config{
+					Seed:           7,
+					Iterations:     12,
+					Workers:        1,
+					GibbsEM:        true,
+					EMInterval:     4,
+					EMPairSample:   30000,
+					BlockedSampler: kernel.blocked,
+				}
+				exact, table, c := fitEquivPair(t, w.cfg, cfg)
+
+				agree := top1Agreement(exact, table, c)
+				aE, bE := exact.AlphaBeta()
+				aT, bT := table.AlphaBeta()
+				t.Logf("top-1 agreement %.4f; alpha exact %.4f table %.4f; beta exact %.5f table %.5f",
+					agree, aE, aT, bE, bT)
+				if agree < equivAgreementMin {
+					t.Errorf("top-1 agreement %.4f < %.2f — table chain decoupled from exact chain", agree, equivAgreementMin)
+				}
+				if math.Abs(aE-aT) > equivAlphaTol {
+					t.Errorf("alpha diverged: exact %.4f vs table %.4f (tol %.2f)", aE, aT, equivAlphaTol)
+				}
+				enE, tnE := exact.NoiseStats()
+				enT, tnT := table.NoiseStats()
+				if math.Abs(enE-enT) > 0.02 || math.Abs(tnE-tnT) > 0.02 {
+					t.Errorf("noise estimates diverged: exact (%.4f, %.4f) vs table (%.4f, %.4f)", enE, tnE, enT, tnT)
+				}
+			})
+		}
+	}
+}
+
+// TestDistTableEquivalenceParallel repeats the mixed-world check under
+// the partitioned parallel sweep: the coupling argument is per worker
+// stream, so it must hold for Workers>1 exactly as for the sequential
+// chain.
+func TestDistTableEquivalenceParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("equivalence property tests run full fits; skipped in -short")
+	}
+	w := equivWorlds()[2]
+	cfg := Config{Seed: 7, Iterations: 12, Workers: 4, GibbsEM: true, EMInterval: 4, EMPairSample: 30000}
+	exact, table, c := fitEquivPair(t, w.cfg, cfg)
+	agree := top1Agreement(exact, table, c)
+	aE, _ := exact.AlphaBeta()
+	aT, _ := table.AlphaBeta()
+	t.Logf("workers=4 top-1 agreement %.4f; alpha exact %.4f table %.4f", agree, aE, aT)
+	if agree < equivAgreementMin {
+		t.Errorf("workers=4 top-1 agreement %.4f < %.2f", agree, equivAgreementMin)
+	}
+	if math.Abs(aE-aT) > equivAlphaTol {
+		t.Errorf("workers=4 alpha diverged: exact %.4f vs table %.4f", aE, aT)
+	}
+}
+
+// TestDistTableEquivalenceSmoke is the -short leg: one small mixed world,
+// per-variable kernel, same assertions.
+func TestDistTableEquivalenceSmoke(t *testing.T) {
+	cfg := Config{Seed: 7, Iterations: 8, Workers: 1, GibbsEM: true, EMInterval: 4, EMPairSample: 20000}
+	exact, table, c := fitEquivPair(t, synth.Config{Seed: 104, NumUsers: 250, NumLocations: 100}, cfg)
+	agree := top1Agreement(exact, table, c)
+	aE, _ := exact.AlphaBeta()
+	aT, _ := table.AlphaBeta()
+	t.Logf("smoke top-1 agreement %.4f; alpha exact %.4f table %.4f", agree, aE, aT)
+	if agree < equivAgreementMin {
+		t.Errorf("smoke top-1 agreement %.4f < %.2f", agree, equivAgreementMin)
+	}
+	if math.Abs(aE-aT) > equivAlphaTol {
+		t.Errorf("smoke alpha diverged: exact %.4f vs table %.4f", aE, aT)
+	}
+}

@@ -19,6 +19,12 @@ type Model struct {
 	dc     *distCalc
 	rng    *rand.Rand
 
+	// Distance-amortization subsystem (nil when Config.DistTable is off):
+	// the quantized log-distance table and the per-edge static weight
+	// caches of the pruned blocked kernel (see disttable.go).
+	dt   *distTable
+	etab []edgeCache
+
 	useF, useT bool
 
 	// Candidacy and priors.
@@ -97,6 +103,16 @@ func Fit(c *dataset.Corpus, cfg Config) (*Model, error) {
 	}
 	if m.useF && (cfg.Alpha == 0 || cfg.Beta == 0) {
 		m.initPowerLawFromData(cfg.Alpha == 0, cfg.Beta == 0)
+	}
+
+	// The distance table is built after the initial (α, β) fit so its
+	// first α-epoch memoizes the exponent the sweeps will actually use.
+	if m.useF && cfg.DistTable != DistTableOff {
+		m.dt = newDistTable(m.dc, c.Gaz.Len())
+		m.dt.setAlpha(m.alpha)
+		if cfg.BlockedSampler {
+			m.etab = make([]edgeCache, len(c.Edges))
+		}
 	}
 
 	m.cands = buildCandidates(c, cfg, m.useF, m.useT)

@@ -25,6 +25,13 @@ type sweepCtx struct {
 	wx, wy  []float64
 	pair    []float64
 
+	// Scratch of the pruned blocked-table kernel: per-row cumulative
+	// masses and the friend side's non-zero ϕ support. Per-worker like
+	// the rest, so no two workers share mutable state inside a color
+	// class.
+	rowMass []float64
+	supJ    []int32
+
 	// Deferred venue-count overlay, non-nil only on parallel workers:
 	// during a parallel tweet phase the model's venue counts are frozen
 	// (shared reads, no writes) and each worker accumulates its own
@@ -61,6 +68,25 @@ func (c *sweepCtx) bufBlocked(nI, nJ int) (wx, wy, pair []float64) {
 		c.pair = make([]float64, nI*nJ)
 	}
 	return c.wx[:nI], c.wy[:nJ], c.pair[:nI*nJ]
+}
+
+// bufBlockedTable returns the scratch slices of the pruned blocked-table
+// kernel: the endpoint weight vectors, the per-row masses, and the
+// friend-side support index buffer.
+func (c *sweepCtx) bufBlockedTable(nI, nJ int) (wx, wy, rowMass []float64, supJ []int32) {
+	if cap(c.wx) < nI {
+		c.wx = make([]float64, nI)
+	}
+	if cap(c.wy) < nJ {
+		c.wy = make([]float64, nJ)
+	}
+	if cap(c.rowMass) < nI {
+		c.rowMass = make([]float64, nI)
+	}
+	if cap(c.supJ) < nJ {
+		c.supJ = make([]int32, nJ)
+	}
+	return c.wx[:nI], c.wy[:nJ], c.rowMass[:nI], c.supJ[:nJ]
 }
 
 // addVenue counts one venue observation at location l, either directly on

@@ -159,6 +159,7 @@ func TestParallelCountInvariants(t *testing.T) {
 // equally valid) chain than Workers=1; held-out accuracy and the noise
 // estimates must agree within tolerance.
 func TestParallelMatchesSequentialQuality(t *testing.T) {
+	skipIfShort(t)
 	d := testWorld(t, 4)
 	seq, test := fitFold(t, d, Config{Seed: 19, Iterations: 10, Workers: 1})
 	par, _ := fitFold(t, d, Config{Seed: 19, Iterations: 10, Workers: 4})

@@ -111,7 +111,7 @@ func (m *Model) MAPExplainEdge(s int) (EdgeExplanation, bool) {
 		}
 		for j := range candJ {
 			tj := m.theta(e.To, j, false)
-			w := ti * tj * m.dc.powDist(candI[i], candJ[j], m.alpha)
+			w := ti * tj * m.pow(candI[i], candJ[j])
 			if w > bestW {
 				bestX, bestY, bestW = i, j, w
 			}

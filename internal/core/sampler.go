@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"mlprofile/internal/dataset"
+	"mlprofile/internal/gazetteer"
 	"mlprofile/internal/powerlaw"
 	"mlprofile/internal/randutil"
 	"mlprofile/internal/stats"
@@ -63,13 +64,7 @@ func (m *Model) updateEdge(ctx *sweepCtx, s int) {
 	}
 	yLoc := candJ[m.ey[s]]
 	weights := ctx.buf(len(candI))
-	for c := range candI {
-		w := phiI[c] + gammaI[c]
-		if counted {
-			w *= m.dc.powDist(candI[c], yLoc, m.alpha)
-		}
-		weights[c] = w
-	}
+	m.edgeWeights(weights, candI, phiI, gammaI, yLoc, counted)
 	xi = randutil.Categorical(ctx.rng, weights)
 	if xi < 0 {
 		xi = int(m.ex[s])
@@ -88,13 +83,7 @@ func (m *Model) updateEdge(ctx *sweepCtx, s int) {
 	}
 	xLoc := candI[xi]
 	weights = ctx.buf(len(candJ))
-	for c := range candJ {
-		w := phiJ[c] + gammaJ[c]
-		if counted {
-			w *= m.dc.powDist(xLoc, candJ[c], m.alpha)
-		}
-		weights[c] = w
-	}
+	m.edgeWeights(weights, candJ, phiJ, gammaJ, xLoc, counted)
 	yi = randutil.Categorical(ctx.rng, weights)
 	if yi < 0 {
 		yi = int(m.ey[s])
@@ -118,7 +107,7 @@ func (m *Model) updateEdge(ctx *sweepCtx, s int) {
 	thetaY := m.theta(e.To, yi, counted)
 	p1 := m.cfg.RhoF * m.fr
 	p0 := (1 - m.cfg.RhoF) * thetaX * thetaY * m.beta *
-		m.dc.powDist(candI[xi], candJ[yi], m.alpha)
+		m.pow(candI[xi], candJ[yi])
 	noisy := randutil.Bernoulli(ctx.rng, p1/(p0+p1))
 	if noisy == m.mu[s] {
 		return
@@ -139,10 +128,49 @@ func (m *Model) updateEdge(ctx *sweepCtx, s int) {
 	}
 }
 
+// edgeWeights fills one side's per-variable conditional: the profile
+// factor ϕ+γ, times the distance factor to the fixed opposite endpoint
+// when the edge counts. The three loop variants compute the same
+// expression; they differ only in where d^α comes from — the dense bin
+// row of the opposite city (one in-row load per candidate), the
+// fallback table (haversine + memoized pow), or the exact path. The
+// candidate order and the single downstream Categorical draw are
+// identical in all three, which is what keeps a DistTable chain coupled
+// to the exact chain.
+func (m *Model) edgeWeights(weights []float64, cand []gazetteer.CityID, phi, gamma []float64, opp gazetteer.CityID, counted bool) {
+	if !counted {
+		for c := range cand {
+			weights[c] = phi[c] + gamma[c]
+		}
+		return
+	}
+	if dt := m.dt; dt != nil {
+		if row := dt.row(opp); row != nil {
+			pt := dt.powTab
+			for c, l := range cand {
+				weights[c] = (phi[c] + gamma[c]) * pt[row[l]]
+			}
+		} else {
+			for c, l := range cand {
+				weights[c] = (phi[c] + gamma[c]) * dt.pow(l, opp)
+			}
+		}
+		return
+	}
+	for c := range cand {
+		weights[c] = (phi[c] + gamma[c]) * m.dc.powDist(cand[c], opp, m.alpha)
+	}
+}
+
 // updateEdgeBlocked jointly resamples (µ_s, x_s, y_s) from their exact
 // joint conditional — the blocked-sampler ablation. The model is
-// unchanged; only the inference move differs.
+// unchanged; only the inference move differs. With the distance table on
+// the pruned factored kernel below takes over.
 func (m *Model) updateEdgeBlocked(ctx *sweepCtx, s int) {
+	if m.dt != nil {
+		m.updateEdgeBlockedTable(ctx, s)
+		return
+	}
 	e := m.corpus.Edges[s]
 	candI := m.cands.cand[e.From]
 	candJ := m.cands.cand[e.To]
@@ -208,6 +236,141 @@ func (m *Model) updateEdgeBlocked(ctx *sweepCtx, s int) {
 		p = int(m.ex[s])*nJ + int(m.ey[s])
 	}
 	m.ex[s], m.ey[s] = uint16(p/nJ), uint16(p%nJ)
+	phiI[m.ex[s]]++
+	phiJ[m.ey[s]]++
+	m.phiSum[e.From]++
+	m.phiSum[e.To]++
+}
+
+// updateEdgeBlockedTable is the pruned factored form of the blocked
+// kernel, active when the distance table is on. The pair weight
+// factorizes as
+//
+//	W[i][j] = (ϕ_I[i]+γ_I[i]) · (ϕ_J[j]+γ_J[j]) · D[i][j]
+//
+// with D the quantized d^α matrix, static within an α-epoch. Splitting
+// the friend-side factor into its static prior γ_J and its sparse
+// profile counts ϕ_J gives per-row sums
+//
+//	S[i] = Σ_j (ϕ_J[j]+γ_J[j])·D[i][j] = gRow[i] + Σ_{j∈supp ϕ_J} ϕ_J[j]·D[i][j]
+//
+// where gRow is the edge's cached static row sum (edgeCache). The sweep
+// therefore pays O(nI + nJ + nI·kJ) per edge — kJ = |supp ϕ_J|, which
+// sampling concentrates onto a handful of candidates — instead of the
+// exact kernel's O(nI·nJ) haversine+pow evaluations.
+//
+// Sampling stays draw-for-draw aligned with the exact kernel: the same
+// Bernoulli, and a single uniform inverted over the rows' cumulative
+// masses and then within the chosen row — the row-major order the exact
+// kernel's flat Categorical over pair[] scans. Only the weight values
+// differ, by quantization, so a DistTable chain shadows the exact one.
+func (m *Model) updateEdgeBlockedTable(ctx *sweepCtx, s int) {
+	e := m.corpus.Edges[s]
+	candI := m.cands.cand[e.From]
+	candJ := m.cands.cand[e.To]
+	gammaI := m.cands.gamma[e.From]
+	gammaJ := m.cands.gamma[e.To]
+	phiI := m.phi[e.From]
+	phiJ := m.phi[e.To]
+
+	if !m.mu[s] {
+		phiI[m.ex[s]]--
+		phiJ[m.ey[s]]--
+		m.phiSum[e.From]--
+		m.phiSum[e.To]--
+	}
+
+	nI, nJ := len(candI), len(candJ)
+	ec := m.edgeCacheFor(s, candI, candJ, gammaJ)
+	wx, wy, rowMass, supJ := ctx.bufBlockedTable(nI, nJ)
+	for c := range candI {
+		wx[c] = phiI[c] + gammaI[c]
+	}
+	kJ := 0
+	for j := range candJ {
+		wy[j] = phiJ[j] + gammaJ[j]
+		if phiJ[j] > 0 {
+			supJ[kJ] = int32(j)
+			kJ++
+		}
+	}
+	sup := supJ[:kJ]
+
+	pt := m.dt.powTab
+	var pairSum float64
+	for i := 0; i < nI; i++ {
+		si := ec.gRow[i]
+		if row := m.dt.row(candI[i]); row != nil {
+			for _, j := range sup {
+				si += phiJ[j] * pt[row[candJ[j]]]
+			}
+		} else {
+			for _, j := range sup {
+				si += phiJ[j] * m.dt.pow(candI[i], candJ[j])
+			}
+		}
+		rm := wx[i] * si
+		rowMass[i] = rm
+		pairSum += rm
+	}
+	denI := m.phiSum[e.From] + m.cands.gammaSum[e.From]
+	denJ := m.phiSum[e.To] + m.cands.gammaSum[e.To]
+
+	w1 := m.cfg.RhoF * m.fr
+	if m.curIter <= m.cfg.NoiseBurnIn {
+		w1 = 0
+	}
+	w0 := (1 - m.cfg.RhoF) * m.beta * pairSum / (denI * denJ)
+
+	if randutil.Bernoulli(ctx.rng, w1/(w0+w1)) {
+		m.mu[s] = true
+		xi := randutil.Categorical(ctx.rng, wx)
+		yi := randutil.Categorical(ctx.rng, wy)
+		if xi < 0 {
+			xi = int(m.ex[s])
+		}
+		if yi < 0 {
+			yi = int(m.ey[s])
+		}
+		m.ex[s], m.ey[s] = uint16(xi), uint16(yi)
+		return
+	}
+	m.mu[s] = false
+	if pairSum > 0 {
+		// Row-major hierarchical inversion of one uniform: rows by their
+		// cumulative masses, then columns within the chosen row. Slack
+		// from float rounding falls to the last row/column, mirroring
+		// randutil.Categorical's fallback.
+		u := ctx.rng.Float64() * pairSum
+		xi := nI - 1
+		var acc float64
+		for i := 0; i < nI; i++ {
+			acc += rowMass[i]
+			if u < acc {
+				xi = i
+				break
+			}
+		}
+		u -= acc - rowMass[xi] // residual uniform within row xi
+		yi := nJ - 1
+		wxi := wx[xi]
+		row := m.dt.row(candI[xi])
+		acc = 0
+		for j := 0; j < nJ; j++ {
+			var d float64
+			if row != nil {
+				d = pt[row[candJ[j]]]
+			} else {
+				d = m.dt.pow(candI[xi], candJ[j])
+			}
+			acc += wxi * wy[j] * d
+			if u < acc {
+				yi = j
+				break
+			}
+		}
+		m.ex[s], m.ey[s] = uint16(xi), uint16(yi)
+	}
 	phiI[m.ex[s]]++
 	phiJ[m.ey[s]]++
 	m.phiSum[e.From]++
@@ -352,6 +515,11 @@ func (m *Model) refitPowerLaw() {
 	}
 	if alpha, beta, ok := m.fitLawAgainstPairs(num); ok {
 		m.alpha, m.beta = alpha, beta
+		if m.dt != nil {
+			// New α-epoch: rebuild the memoized pow table; the per-edge
+			// static caches invalidate lazily on their next visit.
+			m.dt.setAlpha(m.alpha)
+		}
 	}
 }
 

@@ -47,6 +47,9 @@ type Options struct {
 	Workers int
 	// DisableGibbsEM turns off the (α, β) refinement (on by default).
 	DisableGibbsEM bool
+	// DistTable selects the sampler's distance fast path (default on;
+	// core.DistTableOff runs the exact reference sampler).
+	DistTable core.DistTableMode
 }
 
 func (o Options) withDefaults() Options {
@@ -232,6 +235,7 @@ func (r *Runner) runFold(f int, test []dataset.UserID) (*foldResult, error) {
 			Variant:    variant,
 			Workers:    r.foldWorkers(),
 			GibbsEM:    !r.opts.DisableGibbsEM,
+			DistTable:  r.opts.DistTable,
 		}
 		if name == MethodMLP && f == 0 {
 			// Fig. 5: trace test accuracy across sweeps.
@@ -302,6 +306,7 @@ func (r *Runner) ensureFull() error {
 		Iterations: r.opts.Iterations,
 		Workers:    r.opts.Workers,
 		GibbsEM:    !r.opts.DisableGibbsEM,
+		DistTable:  r.opts.DistTable,
 	})
 	if err != nil {
 		return err
