@@ -1,17 +1,24 @@
 // Command mlpbench runs the sampler benchmark matrix — edge kernel ×
-// distance mode × worker count — on a synthetic world and writes the
-// results as JSON, so the performance trajectory is tracked as a
-// checked-in artifact from PR to PR instead of scrollback.
+// distance mode × ψ̂-store mode × worker count — on a synthetic world and
+// writes the results as JSON, so the performance trajectory is tracked
+// as a checked-in artifact from PR to PR instead of scrollback.
 //
 // Usage:
 //
 //	mlpbench                                  # bench world, BENCH_sampler.json
 //	mlpbench -users 2000 -sweeps 10 -out BENCH_big.json
+//	mlpbench -compare BENCH_sampler.json      # also print deltas vs a prior run
 //
 // Each matrix cell is measured as two fits — one initialization-only and
 // one with -sweeps Gibbs iterations — so the reported per-sweep time
 // excludes the world-dependent setup (candidate construction, distance
 // table build, power-law init).
+//
+// -compare loads a previously written report and prints the per-config
+// sweep-time deltas (matched by cell name; cells present on only one
+// side are flagged). It never fails the run — the CI leg that invokes it
+// is informational, keeping the perf trajectory visible on every PR
+// without making noisy runners a gate.
 package main
 
 import (
@@ -33,6 +40,7 @@ type Result struct {
 	Name         string  `json:"name"`
 	Kernel       string  `json:"kernel"`
 	Dist         string  `json:"dist"`
+	Psi          string  `json:"psi"`
 	Workers      int     `json:"workers"`
 	InitSeconds  float64 `json:"init_seconds"`
 	SweepSeconds float64 `json:"sweep_seconds"`
@@ -62,6 +70,7 @@ func main() {
 		seed      = flag.Int64("seed", 5, "world + sampler seed")
 		sweeps    = flag.Int("sweeps", 5, "measured Gibbs sweeps per cell")
 		out       = flag.String("out", "BENCH_sampler.json", "output JSON path")
+		compare   = flag.String("compare", "", "prior report JSON to diff the fresh run against")
 	)
 	flag.Parse()
 
@@ -92,38 +101,39 @@ func main() {
 		name    string
 		blocked bool
 	}{{"pervar", false}, {"blocked", true}} {
-		for _, dist := range []struct {
-			name string
-			mode core.DistTableMode
-		}{{"exact", core.DistTableOff}, {"table", core.DistTableOn}} {
-			for _, workers := range workerCounts {
-				cfg := core.Config{Seed: *seed, NoiseBurnIn: 1, Workers: workers,
-					BlockedSampler: kernel.blocked, DistTable: dist.mode}
-				timeFit := func(iters int) float64 {
-					cfg.Iterations = iters
-					start := time.Now()
-					if _, err := core.Fit(c, cfg); err != nil {
-						log.Fatal(err)
+		for _, dist := range []core.DistTableMode{core.DistTableOff, core.DistTableOn} {
+			for _, psi := range []core.PsiStoreMode{core.PsiStoreOff, core.PsiStoreOn} {
+				for _, workers := range workerCounts {
+					cfg := core.Config{Seed: *seed, NoiseBurnIn: 1, Workers: workers,
+						BlockedSampler: kernel.blocked, DistTable: dist, PsiStore: psi}
+					timeFit := func(iters int) float64 {
+						cfg.Iterations = iters
+						start := time.Now()
+						if _, err := core.Fit(c, cfg); err != nil {
+							log.Fatal(err)
+						}
+						return time.Since(start).Seconds()
 					}
-					return time.Since(start).Seconds()
+					t1 := timeFit(1)
+					tN := timeFit(1 + *sweeps)
+					perSweep := (tN - t1) / float64(*sweeps)
+					if perSweep <= 0 {
+						perSweep = t1 // degenerate tiny worlds; fall back to the full fit
+					}
+					r := Result{
+						Name: fmt.Sprintf("kernel=%s/dist=%s/psi=%s/workers=%d",
+							kernel.name, dist, psi, workers),
+						Kernel:       kernel.name,
+						Dist:         dist.String(),
+						Psi:          psi.String(),
+						Workers:      workers,
+						InitSeconds:  t1,
+						SweepSeconds: perSweep,
+						RelsPerSec:   float64(rels) / perSweep,
+					}
+					rep.Results = append(rep.Results, r)
+					log.Printf("%-50s sweep %8.2fms  %10.0f rels/s", r.Name, perSweep*1e3, r.RelsPerSec)
 				}
-				t1 := timeFit(1)
-				tN := timeFit(1 + *sweeps)
-				perSweep := (tN - t1) / float64(*sweeps)
-				if perSweep <= 0 {
-					perSweep = t1 // degenerate tiny worlds; fall back to the full fit
-				}
-				r := Result{
-					Name:         fmt.Sprintf("kernel=%s/dist=%s/workers=%d", kernel.name, dist.name, workers),
-					Kernel:       kernel.name,
-					Dist:         dist.name,
-					Workers:      workers,
-					InitSeconds:  t1,
-					SweepSeconds: perSweep,
-					RelsPerSec:   float64(rels) / perSweep,
-				}
-				rep.Results = append(rep.Results, r)
-				log.Printf("%-40s sweep %8.2fms  %10.0f rels/s", r.Name, perSweep*1e3, r.RelsPerSec)
 			}
 		}
 	}
@@ -137,4 +147,55 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("wrote %s", *out)
+
+	if *compare != "" {
+		compareReports(*compare, &rep)
+	}
+}
+
+// compareReports diffs the fresh run against a prior report, matching
+// cells by name. Informational only: deltas on shared cells, plus cells
+// that exist on one side only (the matrix grows as knobs are added, so a
+// one-sided cell is expected right after a new dimension lands).
+func compareReports(path string, fresh *Report) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		log.Printf("compare: %v (skipping diff)", err)
+		return
+	}
+	var old Report
+	if err := json.Unmarshal(buf, &old); err != nil {
+		log.Printf("compare: %s: %v (skipping diff)", path, err)
+		return
+	}
+	// SweepSeconds is per-sweep normalized, so a different -sweeps count
+	// is directly comparable; only a different world invalidates deltas.
+	// The seed isn't serialized, but the realized edge/tweet counts pin
+	// the world as tightly for comparison purposes.
+	if old.Users != fresh.Users || old.Locations != fresh.Locations ||
+		old.Edges != fresh.Edges || old.Tweets != fresh.Tweets {
+		log.Printf("compare: world differs (old %du/%dl/%de/%dt vs new %du/%dl/%de/%dt) — deltas are indicative only",
+			old.Users, old.Locations, old.Edges, old.Tweets,
+			fresh.Users, fresh.Locations, fresh.Edges, fresh.Tweets)
+	}
+	oldByName := make(map[string]Result, len(old.Results))
+	for _, r := range old.Results {
+		oldByName[r.Name] = r
+	}
+	log.Printf("compare vs %s (generated %s, %s):", path, old.Generated, old.GoVersion)
+	for _, r := range fresh.Results {
+		o, ok := oldByName[r.Name]
+		if !ok {
+			log.Printf("  %-50s %8.2fms  (new cell)", r.Name, r.SweepSeconds*1e3)
+			continue
+		}
+		delete(oldByName, r.Name)
+		log.Printf("  %-50s %8.2fms -> %8.2fms  (%+.1f%%, %0.2fx)",
+			r.Name, o.SweepSeconds*1e3, r.SweepSeconds*1e3,
+			100*(r.SweepSeconds-o.SweepSeconds)/o.SweepSeconds,
+			o.SweepSeconds/r.SweepSeconds)
+	}
+	for name, o := range oldByName {
+		log.Printf("  %-50s %8.2fms  (cell gone from matrix)", name, o.SweepSeconds*1e3)
+	}
 }

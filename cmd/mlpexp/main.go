@@ -34,6 +34,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "Gibbs sweep goroutines per fit (0 = GOMAXPROCS, except 1 inside a multi-fold CV pass; 1 = exact sequential sampler)")
 		noEM      = flag.Bool("no-em", false, "disable Gibbs-EM refinement")
 		dtable    = flag.Bool("disttable", true, "serve d^alpha from the quantized distance table (false = exact per-pair evaluation)")
+		pstore    = flag.Bool("psistore", true, "store collapsed venue counts venue-major (false = city-major maps, the reference layout)")
 	)
 	flag.Parse()
 
@@ -47,6 +48,7 @@ func main() {
 		Workers:        *workers,
 		DisableGibbsEM: *noEM,
 		DistTable:      core.DistTableFor(*dtable),
+		PsiStore:       core.PsiStoreFor(*pstore),
 	})
 	if err != nil {
 		log.Fatal(err)

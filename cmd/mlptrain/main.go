@@ -36,6 +36,7 @@ func main() {
 		em      = flag.Bool("em", true, "refine (alpha, beta) with Gibbs-EM")
 		workers = flag.Int("workers", 0, "Gibbs sweep goroutines (0 = GOMAXPROCS; 1 = exact sequential sampler)")
 		dtable  = flag.Bool("disttable", true, "serve d^alpha from the quantized distance table (false = exact per-pair evaluation)")
+		pstore  = flag.Bool("psistore", true, "store collapsed venue counts venue-major (false = city-major maps, the reference layout)")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -68,6 +69,7 @@ func main() {
 		Workers:    *workers,
 		GibbsEM:    *em,
 		DistTable:  core.DistTableFor(*dtable),
+		PsiStore:   core.PsiStoreFor(*pstore),
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -59,6 +59,43 @@ func (d DistTableMode) String() string {
 	}
 }
 
+// PsiStoreMode selects the storage layout of the collapsed venue counts
+// φ_{l,v} behind the tweet kernel's ψ̂ factor (see DESIGN.md §8).
+type PsiStoreMode int
+
+const (
+	// PsiStoreAuto defers to the default, which is PsiStoreOn.
+	PsiStoreAuto PsiStoreMode = iota
+	// PsiStoreOn stores the counts venue-major: one compact open-addressed
+	// (city, count) row per venue, gathered once per tweet update instead
+	// of probed once per candidate. Counts are gathered, not approximated,
+	// so this path is bit-identical to the map path (the golden matrix
+	// asserts identical fingerprints).
+	PsiStoreOn
+	// PsiStoreOff keeps the city-major Go-map layout: the original
+	// reference path the venue-major store is tested against.
+	PsiStoreOff
+)
+
+// PsiStoreFor maps a boolean toggle (as CLI flags expose it) onto the
+// mode knob.
+func PsiStoreFor(on bool) PsiStoreMode {
+	if on {
+		return PsiStoreOn
+	}
+	return PsiStoreOff
+}
+
+// String names the mode for logs and bench labels.
+func (p PsiStoreMode) String() string {
+	switch p {
+	case PsiStoreOff:
+		return "map"
+	default:
+		return "venue"
+	}
+}
+
 // Variant selects which observation types the model consumes.
 type Variant int
 
@@ -164,6 +201,13 @@ type Config struct {
 	// within quantization tolerance (equivalence_test.go).
 	DistTable DistTableMode
 
+	// PsiStore selects the collapsed venue-count layout (default
+	// PsiStoreOn): venue-major open-addressed rows gathered once per tweet
+	// update, versus the city-major map reference (PsiStoreOff). The two
+	// layouts hold identical counts and share the ψ̂ smoothing, so fits are
+	// bit-identical across the knob (determinism_test.go's golden matrix).
+	PsiStore PsiStoreMode
+
 	// DisableNoiseMixture forces every relationship location-based
 	// (ρ_f = ρ_t = 0) — the ablation of the paper's first mixture level.
 	DisableNoiseMixture bool
@@ -219,6 +263,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DistTable == DistTableAuto {
 		c.DistTable = DistTableOn
+	}
+	if c.PsiStore == PsiStoreAuto {
+		c.PsiStore = PsiStoreOn
 	}
 	if c.DisableNoiseMixture {
 		c.RhoF, c.RhoT = 0, 0

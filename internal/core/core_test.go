@@ -35,6 +35,38 @@ func skipIfShort(t *testing.T) {
 	}
 }
 
+// checkVenueInvariants asserts the collapsed venue-count invariants on a
+// fitted model, independent of the active PsiStore layout: every count
+// positive, per-city counts summing to venueSum[l], and the grand total
+// equal to the number of location-based (ν=0) tweets.
+func checkVenueInvariants(t *testing.T, m *Model) {
+	t.Helper()
+	locTweets := 0
+	for _, b := range m.nu {
+		if !b {
+			locTweets++
+		}
+	}
+	counts := m.venueCountsByCity()
+	var venueTotal float64
+	for l := range m.venueSum {
+		venueTotal += m.venueSum[l]
+		var s float64
+		for _, v := range counts[l] {
+			if v <= 0 {
+				t.Fatalf("location %d: non-positive venue count %f", l, v)
+			}
+			s += v
+		}
+		if math.Abs(s-m.venueSum[l]) > 1e-6 {
+			t.Fatalf("location %d: venue counts sum %f != %f", l, s, m.venueSum[l])
+		}
+	}
+	if math.Abs(venueTotal-float64(locTweets)) > 1e-6 {
+		t.Fatalf("venue total %f != location-based tweets %d", venueTotal, locTweets)
+	}
+}
+
 // fitFold hides the labels of one CV fold and fits the model.
 func fitFold(t testing.TB, d *dataset.Dataset, cfg Config) (*Model, []dataset.UserID) {
 	t.Helper()
@@ -131,29 +163,31 @@ func TestCountInvariants(t *testing.T) {
 		}
 	}
 
-	// Venue counts: total must equal the number of ν=0 tweets.
-	locTweets := 0
-	for _, b := range m.nu {
-		if !b {
-			locTweets++
-		}
-	}
-	var venueTotal float64
-	for l := range m.venueSum {
-		venueTotal += m.venueSum[l]
-		var s float64
-		for _, v := range m.venueCount[l] {
-			if v <= 0 {
-				t.Fatalf("location %d: non-positive venue count %f", l, v)
-			}
-			s += v
-		}
-		if math.Abs(s-m.venueSum[l]) > 1e-6 {
-			t.Fatalf("location %d: venue counts sum %f != %f", l, s, m.venueSum[l])
-		}
-	}
-	if math.Abs(venueTotal-float64(locTweets)) > 1e-6 {
-		t.Fatalf("venue total %f != location-based tweets %d", venueTotal, locTweets)
+	// Venue counts: per-city sums and the ν=0 total, under the fitted
+	// store layout (the default venue-major store here; the map layout is
+	// covered by TestCountInvariantsBothStores).
+	checkVenueInvariants(t, m)
+}
+
+// TestCountInvariantsBothStores runs the venue bookkeeping invariants
+// explicitly under each PsiStore layout, sequential and parallel — the
+// post-sweep check that venueSum[l] equals the sum of row counts no
+// matter which structure accumulated them.
+func TestCountInvariantsBothStores(t *testing.T) {
+	d := testWorld(t, 2)
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"venue/workers=1", Config{Seed: 5, Iterations: 6, PsiStore: PsiStoreOn}},
+		{"map/workers=1", Config{Seed: 5, Iterations: 6, PsiStore: PsiStoreOff}},
+		{"venue/workers=4", Config{Seed: 5, Iterations: 6, Workers: 4, PsiStore: PsiStoreOn}},
+		{"map/workers=4", Config{Seed: 5, Iterations: 6, Workers: 4, PsiStore: PsiStoreOff}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m, _ := fitFold(t, d, tc.cfg)
+			checkVenueInvariants(t, m)
+		})
 	}
 }
 

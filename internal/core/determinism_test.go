@@ -108,26 +108,44 @@ var goldenMatrix = []struct {
 	{"workers=4/table", 4, DistTableOn, 0x41becc5c7b68d6e1},
 }
 
+// goldenPsiModes is the PsiStore axis of the golden matrix. Unlike the
+// distance table — equal here only because no draw happens to flip —
+// the venue-major store owes exact equality *structurally*: counts are
+// gathered, never approximated, and the ψ̂ smoothing is shared, so both
+// layouts must reproduce the identical fingerprint in every mode. A
+// psi=venue divergence with an intact psi=map fingerprint means the
+// store (or its parallel overlay/fold) corrupted a count.
+var goldenPsiModes = []struct {
+	name string
+	psi  PsiStoreMode
+}{
+	{"psi=map", PsiStoreOff},
+	{"psi=venue", PsiStoreOn},
+}
+
 func TestGoldenFingerprintMatrix(t *testing.T) {
 	d, err := synth.Generate(*goldenWorld(t))
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, g := range goldenMatrix {
-		t.Run(g.name, func(t *testing.T) {
-			cfg := goldenCfg()
-			cfg.Workers = g.workers
-			cfg.DistTable = g.dist
-			m, err := Fit(&d.Corpus, cfg)
-			if err != nil {
-				t.Fatal(err)
-			}
-			got := fitFingerprint(m)
-			t.Logf("fingerprint: %#x", got)
-			if got != g.fingerprint {
-				t.Errorf("%s fingerprint %#x differs from golden %#x", g.name, got, g.fingerprint)
-			}
-		})
+		for _, p := range goldenPsiModes {
+			t.Run(g.name+"/"+p.name, func(t *testing.T) {
+				cfg := goldenCfg()
+				cfg.Workers = g.workers
+				cfg.DistTable = g.dist
+				cfg.PsiStore = p.psi
+				m, err := Fit(&d.Corpus, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := fitFingerprint(m)
+				t.Logf("fingerprint: %#x", got)
+				if got != g.fingerprint {
+					t.Errorf("%s/%s fingerprint %#x differs from golden %#x", g.name, p.name, got, g.fingerprint)
+				}
+			})
+		}
 	}
 }
 
@@ -153,19 +171,22 @@ func TestGoldenMatrixBlocked(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, g := range goldenBlocked {
-		t.Run(g.name, func(t *testing.T) {
-			cfg := goldenCfg()
-			cfg.BlockedSampler = true
-			cfg.DistTable = g.dist
-			m, err := Fit(&d.Corpus, cfg)
-			if err != nil {
-				t.Fatal(err)
-			}
-			got := fitFingerprint(m)
-			t.Logf("fingerprint: %#x", got)
-			if got != g.fingerprint {
-				t.Errorf("%s fingerprint %#x differs from golden %#x", g.name, got, g.fingerprint)
-			}
-		})
+		for _, p := range goldenPsiModes {
+			t.Run(g.name+"/"+p.name, func(t *testing.T) {
+				cfg := goldenCfg()
+				cfg.BlockedSampler = true
+				cfg.DistTable = g.dist
+				cfg.PsiStore = p.psi
+				m, err := Fit(&d.Corpus, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := fitFingerprint(m)
+				t.Logf("fingerprint: %#x", got)
+				if got != g.fingerprint {
+					t.Errorf("%s/%s fingerprint %#x differs from golden %#x", g.name, p.name, got, g.fingerprint)
+				}
+			})
+		}
 	}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"sync"
 
 	"mlprofile/internal/gazetteer"
 	"mlprofile/internal/randutil"
@@ -65,6 +66,88 @@ const (
 	maxDensePairCities = 2048
 )
 
+// pairBins is the immutable pair→bin level for one gazetteer: the dense
+// compact-bin matrix and the bin representatives. Distances never change,
+// so this level depends only on the gazetteer and the bin width — it is
+// shareable across every fit on the same gazetteer (CV folds, benches,
+// the equivalence suite), which is what the pairBinCache below exploits.
+// The α-dependent powTab stays per-distTable.
+type pairBins struct {
+	once sync.Once
+
+	// pairBin[a*L+b] is the compact bin id of city pair (a, b).
+	// Symmetric, diagonal in the logMiles=0 bin.
+	pairBin []uint32
+
+	// binRep[id] is the representative log-distance (bin center) of
+	// compact bin id.
+	binRep []float64
+}
+
+// build quantizes every pair and compacts the distinct raw bins into
+// dense ids on the fly (deterministic encounter order), so powTab and
+// binRep scale with the number of distinct city-pair bins regardless of
+// bin width and the build allocates nothing transient beyond the id map.
+// Raw bins are 64-bit — the fine width overflows uint32 — but they only
+// live as map keys. The diagonal stays at bin 0 (logMiles 0), registered
+// first so id 0 is always the clamp bin.
+func (pb *pairBins) build(dc *distCalc, L int) {
+	pb.pairBin = make([]uint32, L*L)
+	ids := make(map[uint64]uint32, L)
+	idOf := func(bin uint64) uint32 {
+		id, ok := ids[bin]
+		if !ok {
+			id = uint32(len(pb.binRep))
+			ids[bin] = id
+			pb.binRep = append(pb.binRep, float64(bin)*logBinWidth)
+		}
+		return id
+	}
+	idOf(0)
+	for a := 0; a < L; a++ {
+		for b := a + 1; b < L; b++ {
+			id := idOf(uint64(binOfLog(dc.logMiles(gazetteer.CityID(a), gazetteer.CityID(b)))))
+			pb.pairBin[a*L+b] = id
+			pb.pairBin[b*L+a] = id
+		}
+	}
+}
+
+// pairBinCache memoizes the pair-bin level per gazetteer, so repeated
+// fits on one corpus (CV folds, benches, the equivalence tests) stop
+// re-paying the L² haversine build every Fit. Keyed by gazetteer pointer
+// identity — Corpus.WithUsers shares the Gazetteer, so every fold of one
+// world hits the same entry. Bounded FIFO: an entry is at most L²×4B
+// (16 MiB at maxDensePairCities), and evicted entries stay valid for
+// any fit still holding them (pairBins is immutable once built).
+var pairBinCache = struct {
+	mu      sync.Mutex
+	entries map[*gazetteer.Gazetteer]*pairBins
+	order   []*gazetteer.Gazetteer
+}{entries: map[*gazetteer.Gazetteer]*pairBins{}}
+
+const maxPairBinCacheEntries = 4
+
+// pairBinsFor returns the (possibly cached) pair-bin level for g. The
+// per-entry sync.Once lets concurrent fits on the same gazetteer share
+// one build without holding the cache lock during the L² loop.
+func pairBinsFor(dc *distCalc, g *gazetteer.Gazetteer, L int) *pairBins {
+	pairBinCache.mu.Lock()
+	pb, ok := pairBinCache.entries[g]
+	if !ok {
+		pb = &pairBins{}
+		pairBinCache.entries[g] = pb
+		pairBinCache.order = append(pairBinCache.order, g)
+		if len(pairBinCache.order) > maxPairBinCacheEntries {
+			delete(pairBinCache.entries, pairBinCache.order[0])
+			pairBinCache.order = pairBinCache.order[1:]
+		}
+	}
+	pairBinCache.mu.Unlock()
+	pb.once.Do(func() { pb.build(dc, L) })
+	return pb
+}
+
 // distTable memoizes the power-law factor over quantized log-distances.
 // It is built once per fit; powTab is rebuilt in place on every α-epoch.
 // All methods except setAlpha are read-only and safe for concurrent use
@@ -74,14 +157,11 @@ type distTable struct {
 	L     int
 	alpha float64
 
-	// pairBin[a*L+b] is the compact bin id of city pair (a, b); nil above
-	// maxDensePairCities. Symmetric, diagonal in the logMiles=0 bin.
-	pairBin []uint32
+	// pb is the shared immutable pair→bin level; nil above
+	// maxDensePairCities (the per-lookup quantization fallback).
+	pb *pairBins
 
-	// binRep[id] is the representative log-distance (bin center) of
-	// compact bin id; powTab[id] = exp(alpha·binRep[id]) for the current
-	// α-epoch.
-	binRep []float64
+	// powTab[id] = exp(alpha·pb.binRep[id]) for the current α-epoch.
 	powTab []float64
 
 	// epoch counts α updates; per-edge caches compare against it to
@@ -89,39 +169,25 @@ type distTable struct {
 	epoch uint32
 }
 
-// newDistTable builds the pair-bin level for the gazetteer behind dc.
+// newDistTable builds the pair-bin level for the gazetteer behind dc,
+// bypassing the cache (unit tests use it on throwaway gazetteers).
 // powTab is not valid until the first setAlpha call.
 func newDistTable(dc *distCalc, L int) *distTable {
 	t := &distTable{dc: dc, L: L}
-	if L > maxDensePairCities {
-		return t
+	if L <= maxDensePairCities {
+		t.pb = &pairBins{}
+		t.pb.once.Do(func() { t.pb.build(dc, L) })
 	}
+	return t
+}
 
-	// Quantize every pair and compact the distinct raw bins into dense
-	// ids on the fly (deterministic encounter order), so powTab and
-	// binRep scale with the number of distinct city-pair bins regardless
-	// of bin width and the build allocates nothing transient beyond the
-	// id map. Raw bins are 64-bit — the fine width overflows uint32 —
-	// but they only live as map keys. The diagonal stays at bin 0
-	// (logMiles 0), registered first so id 0 is always the clamp bin.
-	t.pairBin = make([]uint32, L*L)
-	ids := make(map[uint64]uint32, L)
-	idOf := func(bin uint64) uint32 {
-		id, ok := ids[bin]
-		if !ok {
-			id = uint32(len(t.binRep))
-			ids[bin] = id
-			t.binRep = append(t.binRep, float64(bin)*logBinWidth)
-		}
-		return id
-	}
-	idOf(0)
-	for a := 0; a < L; a++ {
-		for b := a + 1; b < L; b++ {
-			id := idOf(uint64(binOfLog(dc.logMiles(gazetteer.CityID(a), gazetteer.CityID(b)))))
-			t.pairBin[a*L+b] = id
-			t.pairBin[b*L+a] = id
-		}
+// distTableFor is the fit-time constructor: identical semantics to
+// newDistTable, with the pair-bin level served from pairBinCache.
+func distTableFor(dc *distCalc, g *gazetteer.Gazetteer) *distTable {
+	L := g.Len()
+	t := &distTable{dc: dc, L: L}
+	if L <= maxDensePairCities {
+		t.pb = pairBinsFor(dc, g, L)
 	}
 	return t
 }
@@ -145,11 +211,11 @@ func quantLog(lm float64) float64 {
 // cache lazily. Must not run concurrently with a sweep.
 func (t *distTable) setAlpha(alpha float64) {
 	t.alpha = alpha
-	if t.binRep != nil {
+	if t.pb != nil {
 		if t.powTab == nil {
-			t.powTab = make([]float64, len(t.binRep))
+			t.powTab = make([]float64, len(t.pb.binRep))
 		}
-		for i, lm := range t.binRep {
+		for i, lm := range t.pb.binRep {
 			t.powTab[i] = math.Exp(alpha * lm)
 		}
 	}
@@ -159,8 +225,8 @@ func (t *distTable) setAlpha(alpha float64) {
 // pow returns the memoized d(a,b)^α for the current α-epoch: two array
 // loads in dense mode, a quantized exact evaluation in fallback mode.
 func (t *distTable) pow(a, b gazetteer.CityID) float64 {
-	if t.pairBin != nil {
-		return t.powTab[t.pairBin[int(a)*t.L+int(b)]]
+	if t.pb != nil {
+		return t.powTab[t.pb.pairBin[int(a)*t.L+int(b)]]
 	}
 	return math.Exp(t.alpha * quantLog(t.dc.logMiles(a, b)))
 }
@@ -170,10 +236,10 @@ func (t *distTable) pow(a, b gazetteer.CityID) float64 {
 // single in-row load (the matrix is symmetric, so row-major access works
 // for either side of the pair).
 func (t *distTable) row(a gazetteer.CityID) []uint32 {
-	if t.pairBin == nil {
+	if t.pb == nil {
 		return nil
 	}
-	return t.pairBin[int(a)*t.L : int(a)*t.L+t.L]
+	return t.pb.pairBin[int(a)*t.L : int(a)*t.L+t.L]
 }
 
 // pow returns d(a,b)^α as the sampler sees it: memoized and quantized

@@ -5,6 +5,7 @@ import (
 	"math"
 	"testing"
 
+	"mlprofile/internal/dataset"
 	"mlprofile/internal/gazetteer"
 	"mlprofile/internal/geo"
 	"mlprofile/internal/synth"
@@ -135,6 +136,73 @@ func TestDistTableFallbackAgreesWithDense(t *testing.T) {
 	}
 	if fallback.row(0) != nil {
 		t.Error("fallback mode should expose no dense rows")
+	}
+}
+
+// TestPairBinCacheSharedAcrossFits: fits on the same gazetteer — in
+// particular CV folds, which share the Gazetteer through
+// Corpus.WithUsers — must reuse one pair-bin build instead of re-paying
+// the L² haversines, while a different gazetteer gets its own entry.
+func TestPairBinCacheSharedAcrossFits(t *testing.T) {
+	d, err := synth.Generate(synth.Config{Seed: 19, NumUsers: 150, NumLocations: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := Fit(&d.Corpus, Config{Seed: 1, Iterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	folds := dataset.KFold(len(d.Corpus.Users), 5, 99)
+	m2, err := Fit(d.Corpus.WithUsers(d.Corpus.HideLabels(folds[0])), Config{Seed: 2, Iterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.dt == nil || m2.dt == nil {
+		t.Fatal("default fits should build the distance table")
+	}
+	if m1.dt.pb != m2.dt.pb {
+		t.Error("fits on one gazetteer built separate pair-bin levels")
+	}
+	if m1.dt.powTab == nil || m2.dt.powTab == nil {
+		t.Fatal("powTab missing")
+	}
+	if &m1.dt.powTab[0] == &m2.dt.powTab[0] {
+		t.Error("powTab (α-dependent) must not be shared across fits")
+	}
+
+	d2, err := synth.Generate(synth.Config{Seed: 20, NumUsers: 150, NumLocations: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m3, err := Fit(&d2.Corpus, Config{Seed: 1, Iterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3.dt.pb == m1.dt.pb {
+		t.Error("distinct gazetteers share a pair-bin level")
+	}
+}
+
+// TestPairBinCacheEviction: the cache is bounded FIFO; pushing more
+// gazetteers than the cap evicts the oldest entry, and a rebuilt entry
+// still produces identical bins (immutability makes eviction safe).
+func TestPairBinCacheEviction(t *testing.T) {
+	gaz := func(d float64) *gazetteer.Gazetteer { return milesApartGazetteer(t, []float64{d, 2 * d}) }
+	g0 := gaz(5)
+	dc0 := newDistCalc(g0)
+	pb0 := pairBinsFor(dc0, g0, g0.Len())
+	for i := 0; i < maxPairBinCacheEntries; i++ {
+		g := gaz(10 + float64(i))
+		pairBinsFor(newDistCalc(g), g, g.Len())
+	}
+	pb0again := pairBinsFor(dc0, g0, g0.Len())
+	if pb0again == pb0 {
+		t.Error("entry survived past the cache cap")
+	}
+	for i := range pb0.pairBin {
+		if pb0.pairBin[i] != pb0again.pairBin[i] {
+			t.Fatal("rebuilt pair bins differ from the evicted build")
+		}
 	}
 }
 

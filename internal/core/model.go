@@ -34,11 +34,19 @@ type Model struct {
 	phi    [][]float64
 	phiSum []float64
 
-	// Collapsed venue counts φ_{l,v}: venueCount[l][v] accumulates
-	// location-based tweets only (ν = 0).
+	// Collapsed venue counts φ_{l,v}, accumulating location-based tweets
+	// only (ν = 0). Exactly one layout is active, per cfg.PsiStore: the
+	// venue-major store ps (one open-addressed (city, count) row per
+	// venue — the fast path, see psistore.go), or the city-major map
+	// layout venueCount[l][v] (the reference path). venueSum[l] is the
+	// per-city total under either layout.
 	venueCount []map[gazetteer.VenueID]float64
+	ps         *psiStore
 	venueSum   []float64
 	numVenues  int
+	// deltaTotal caches ψ̂'s smoothing denominator addend δ|V| (the same
+	// product psiFrom would otherwise recompute per candidate).
+	deltaTotal float64
 
 	// Edge latent state: selector µ_s and candidate indexes of x_s, y_s.
 	mu     []bool
@@ -108,7 +116,7 @@ func Fit(c *dataset.Corpus, cfg Config) (*Model, error) {
 	// The distance table is built after the initial (α, β) fit so its
 	// first α-epoch memoizes the exponent the sweeps will actually use.
 	if m.useF && cfg.DistTable != DistTableOff {
-		m.dt = newDistTable(m.dc, c.Gaz.Len())
+		m.dt = distTableFor(m.dc, c.Gaz)
 		m.dt.setAlpha(m.alpha)
 		if cfg.BlockedSampler {
 			m.etab = make([]edgeCache, len(c.Edges))
@@ -145,8 +153,13 @@ func (m *Model) initState() {
 	}
 
 	m.numVenues = c.Venues.Len()
+	m.deltaTotal = m.cfg.Delta * float64(m.numVenues)
 	L := c.Gaz.Len()
-	m.venueCount = make([]map[gazetteer.VenueID]float64, L)
+	if m.cfg.PsiStore == PsiStoreOn {
+		m.ps = newPsiStore(m.numVenues)
+	} else {
+		m.venueCount = make([]map[gazetteer.VenueID]float64, L)
+	}
 	m.venueSum = make([]float64, L)
 
 	// Random models, learned empirically as in Sec. 4.2.
@@ -200,35 +213,73 @@ func (m *Model) initState() {
 }
 
 func (m *Model) addVenue(l gazetteer.CityID, v gazetteer.VenueID) {
-	if m.venueCount[l] == nil {
-		m.venueCount[l] = make(map[gazetteer.VenueID]float64, 8)
+	if m.ps != nil {
+		m.ps.add(v, l, 1)
+	} else {
+		if m.venueCount[l] == nil {
+			m.venueCount[l] = make(map[gazetteer.VenueID]float64, 8)
+		}
+		m.venueCount[l][v]++
 	}
-	m.venueCount[l][v]++
 	m.venueSum[l]++
 }
 
 func (m *Model) removeVenue(l gazetteer.CityID, v gazetteer.VenueID) {
-	m.venueCount[l][v]--
-	if m.venueCount[l][v] <= 0 {
-		delete(m.venueCount[l], v)
+	if m.ps != nil {
+		m.ps.add(v, l, -1)
+	} else {
+		m.venueCount[l][v]--
+		if m.venueCount[l][v] <= 0 {
+			delete(m.venueCount[l], v)
+		}
 	}
 	m.venueSum[l]--
+}
+
+// venueCnt returns φ_{l,v} under whichever count layout is active.
+func (m *Model) venueCnt(l gazetteer.CityID, v gazetteer.VenueID) float64 {
+	if m.ps != nil {
+		return m.ps.get(v, l)
+	}
+	if m.venueCount[l] != nil {
+		return m.venueCount[l][v]
+	}
+	return 0
 }
 
 // psi returns the collapsed venue probability ψ̂_l(v) (Eq. 6's second
 // factor): (φ_{l,v} + δ) / (Σ_v φ_{l,v} + δ|V|).
 func (m *Model) psi(l gazetteer.CityID, v gazetteer.VenueID) float64 {
-	var cnt float64
-	if m.venueCount[l] != nil {
-		cnt = m.venueCount[l][v]
+	return m.psiFrom(m.venueCnt(l, v), m.venueSum[l])
+}
+
+// venueCountsByCity materializes the collapsed venue counts in city-major
+// map form regardless of the active layout — the invariant tests and
+// count readouts consume this, not the store internals.
+func (m *Model) venueCountsByCity() []map[gazetteer.VenueID]float64 {
+	if m.ps == nil {
+		return m.venueCount
 	}
-	return m.psiFrom(cnt, m.venueSum[l])
+	out := make([]map[gazetteer.VenueID]float64, len(m.venueSum))
+	for v := range m.ps.rows {
+		r := &m.ps.rows[v]
+		for i, k := range r.keys {
+			if k < 0 {
+				continue
+			}
+			if out[k] == nil {
+				out[k] = make(map[gazetteer.VenueID]float64, 8)
+			}
+			out[k][gazetteer.VenueID(v)] += r.vals[i]
+		}
+	}
+	return out
 }
 
 // psiFrom is the ψ̂ smoothing shared by the sequential estimate and the
 // parallel workers' overlay reads (sweepCtx.psi).
 func (m *Model) psiFrom(cnt, sum float64) float64 {
-	return (cnt + m.cfg.Delta) / (sum + m.cfg.Delta*float64(m.numVenues))
+	return (cnt + m.cfg.Delta) / (sum + m.deltaTotal)
 }
 
 // theta returns the collapsed profile probability of candidate idx for

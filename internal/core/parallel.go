@@ -39,11 +39,31 @@ type sweepCtx struct {
 	// own updates. Deltas are folded into the model after the phase
 	// barrier; the counts are integer-valued, so the fold order cannot
 	// change the result.
-	vdelta map[uint64]float64
-	vsum   map[gazetteer.CityID]float64
+	//
+	// The overlay layout follows cfg.PsiStore. PsiStoreOn: ovl holds
+	// venue-major delta rows matching the model's store, ovlSum the flat
+	// per-city sum deltas, and ovlVenues/ovlCities the dirty lists that
+	// make the fold and the clear O(touched) instead of O(|V|+L).
+	// PsiStoreOff: the original venueKey-packed map pair.
+	ovl       *psiStore
+	ovlSum    []float64
+	ovlVenues []int32
+	ovlCities []int32
+	vdelta    map[uint64]float64
+	vsum      map[gazetteer.CityID]float64
+
+	// Epoch-stamped gather scratch of the venue-major store, sized |L|
+	// (see gatherPsi): gcells[l] holds the count gathered for the
+	// current tweet's venue iff its stamp equals gepoch.
+	gcells []psiGatherCell
+	gepoch uint64
 }
 
-// venueKey packs a (city, venue) pair into one map key.
+// venueKey packs a (city, venue) pair into one map key. Only the
+// PsiStoreOff overlay still uses it: the venue-major fast path replaced
+// the packed map with flat delta rows, but the reference path's overlay
+// is deliberately left exactly as it shipped so PsiStoreOff remains the
+// untouched baseline the store is fingerprint-tested against.
 func venueKey(l gazetteer.CityID, v gazetteer.VenueID) uint64 {
 	return uint64(uint32(l))<<32 | uint64(uint32(v))
 }
@@ -92,35 +112,54 @@ func (c *sweepCtx) bufBlockedTable(nI, nJ int) (wx, wy, rowMass []float64, supJ 
 // addVenue counts one venue observation at location l, either directly on
 // the model (sequential) or into the worker's deferred overlay (parallel).
 func (c *sweepCtx) addVenue(l gazetteer.CityID, v gazetteer.VenueID) {
-	if c.vdelta == nil {
-		c.m.addVenue(l, v)
-		return
-	}
-	c.vdelta[venueKey(l, v)]++
-	c.vsum[l]++
+	c.shiftVenue(l, v, 1)
 }
 
 func (c *sweepCtx) removeVenue(l gazetteer.CityID, v gazetteer.VenueID) {
-	if c.vdelta == nil {
-		c.m.removeVenue(l, v)
-		return
+	c.shiftVenue(l, v, -1)
+}
+
+func (c *sweepCtx) shiftVenue(l gazetteer.CityID, v gazetteer.VenueID, d float64) {
+	switch {
+	case c.ovl != nil:
+		if c.ovl.accumDelta(v, l, d) {
+			c.ovlVenues = append(c.ovlVenues, int32(v))
+		}
+		if c.ovlSum[l] == 0 {
+			// First touch of this city, or a delta that had returned to
+			// zero: either way register it; fold dedupes for free because
+			// re-folding a zeroed entry is a no-op.
+			c.ovlCities = append(c.ovlCities, int32(l))
+		}
+		c.ovlSum[l] += d
+	case c.vdelta != nil:
+		c.vdelta[venueKey(l, v)] += d
+		c.vsum[l] += d
+	default:
+		if d > 0 {
+			c.m.addVenue(l, v)
+		} else {
+			c.m.removeVenue(l, v)
+		}
 	}
-	c.vdelta[venueKey(l, v)]--
-	c.vsum[l]--
 }
 
 // psi is ψ̂_l(v) as seen by this stream: the model's collapsed estimate,
 // plus the worker's own pending deltas when running deferred.
 func (c *sweepCtx) psi(l gazetteer.CityID, v gazetteer.VenueID) float64 {
-	if c.vdelta == nil {
-		return c.m.psi(l, v)
-	}
 	m := c.m
-	var cnt float64
-	if m.venueCount[l] != nil {
-		cnt = m.venueCount[l][v]
+	switch {
+	case c.ovl != nil:
+		return m.psiFrom(m.ps.get(v, l)+c.ovl.get(v, l), m.venueSum[l]+c.ovlSum[l])
+	case c.vdelta != nil:
+		var cnt float64
+		if m.venueCount[l] != nil {
+			cnt = m.venueCount[l][v]
+		}
+		return m.psiFrom(cnt+c.vdelta[venueKey(l, v)], m.venueSum[l]+c.vsum[l])
+	default:
+		return m.psi(l, v)
 	}
-	return m.psiFrom(cnt+c.vdelta[venueKey(l, v)], m.venueSum[l]+c.vsum[l])
 }
 
 // sweepPlan is the static partition of the corpus for Workers-way sweeps,
@@ -299,7 +338,12 @@ func (m *Model) sweepParallel() {
 				continue
 			}
 			ctx := m.parCtxs[w]
-			if ctx.vdelta == nil {
+			if m.ps != nil {
+				if ctx.ovl == nil {
+					ctx.ovl = newPsiStore(m.numVenues)
+					ctx.ovlSum = make([]float64, len(m.venueSum))
+				}
+			} else if ctx.vdelta == nil {
 				ctx.vdelta = make(map[uint64]float64, 256)
 				ctx.vsum = make(map[gazetteer.CityID]float64, 64)
 			}
@@ -321,8 +365,33 @@ func (m *Model) sweepParallel() {
 // never net-remove more mass from a (city, venue) cell than its own
 // tweets held there at phase start, so folding worker by worker keeps
 // every intermediate count non-negative and the final counts equal to
-// what immediate application would have produced.
+// what immediate application would have produced. The venue-major
+// overlay folds by walking each worker's dirty-venue list — O(touched)
+// rather than O(|V|) — and reuses row capacity across sweeps.
 func (m *Model) foldVenueDeltas() {
+	if m.ps != nil {
+		for _, ctx := range m.parCtxs {
+			if ctx.ovl == nil {
+				continue
+			}
+			for _, v := range ctx.ovlVenues {
+				r := &ctx.ovl.rows[v]
+				for i, k := range r.keys {
+					if k >= 0 && r.vals[i] != 0 {
+						m.ps.add(gazetteer.VenueID(v), gazetteer.CityID(k), r.vals[i])
+					}
+				}
+				r.reset()
+			}
+			ctx.ovlVenues = ctx.ovlVenues[:0]
+			for _, l := range ctx.ovlCities {
+				m.venueSum[l] += ctx.ovlSum[l]
+				ctx.ovlSum[l] = 0
+			}
+			ctx.ovlCities = ctx.ovlCities[:0]
+		}
+		return
+	}
 	for _, ctx := range m.parCtxs {
 		if ctx.vdelta == nil {
 			continue

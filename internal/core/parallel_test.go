@@ -128,29 +128,7 @@ func TestParallelCountInvariants(t *testing.T) {
 				}
 			}
 
-			locTweets := 0
-			for _, b := range m.nu {
-				if !b {
-					locTweets++
-				}
-			}
-			var venueTotal float64
-			for l := range m.venueSum {
-				venueTotal += m.venueSum[l]
-				var s float64
-				for _, v := range m.venueCount[l] {
-					if v <= 0 {
-						t.Fatalf("location %d: non-positive venue count %f", l, v)
-					}
-					s += v
-				}
-				if math.Abs(s-m.venueSum[l]) > 1e-6 {
-					t.Fatalf("location %d: venue counts sum %f != %f", l, s, m.venueSum[l])
-				}
-			}
-			if math.Abs(venueTotal-float64(locTweets)) > 1e-6 {
-				t.Fatalf("venue total %f != location-based tweets %d", venueTotal, locTweets)
-			}
+			checkVenueInvariants(t, m)
 		})
 	}
 }

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"math"
 	"testing"
 
 	"mlprofile/internal/dataset"
+	"mlprofile/internal/gazetteer"
 )
 
 // TestMAPExplainAgreesWithSamples: the MAP explanation should usually
@@ -106,5 +108,43 @@ func TestProfileReadoutPure(t *testing.T) {
 	// TopK with huge k returns the full candidate set, no panic.
 	if got := m.TopK(u, 10000); len(got) != len(m.Candidates(u)) {
 		t.Errorf("TopK(10000) = %d entries, want %d", len(got), len(m.Candidates(u)))
+	}
+}
+
+// TestVenueProbabilityReadout: ψ̂ readouts agree bit-for-bit across the
+// two PsiStore layouts, normalize over the venue vocabulary, and degrade
+// to zero off-range and for variants without tweeting observations.
+func TestVenueProbabilityReadout(t *testing.T) {
+	d := testWorld(t, 2)
+	cfg := Config{Seed: 5, Iterations: 4}
+	cfg.PsiStore = PsiStoreOn
+	mv, _ := fitFold(t, d, cfg)
+	cfg.PsiStore = PsiStoreOff
+	mm, _ := fitFold(t, d, cfg)
+
+	L := d.Corpus.Gaz.Len()
+	for l := 0; l < L; l += 7 {
+		var sum float64
+		for v := 0; v < d.Corpus.Venues.Len(); v++ {
+			pv := mv.VenueProbability(gazetteer.CityID(l), gazetteer.VenueID(v))
+			pm := mm.VenueProbability(gazetteer.CityID(l), gazetteer.VenueID(v))
+			if pv != pm {
+				t.Fatalf("ψ̂(%d, %d): venue store %v != map store %v", l, v, pv, pm)
+			}
+			if pv <= 0 {
+				t.Fatalf("ψ̂(%d, %d) = %v, want > 0 (Dirichlet smoothing)", l, v, pv)
+			}
+			sum += pv
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("ψ̂(%d, ·) sums to %v", l, sum)
+		}
+	}
+	if mv.VenueProbability(-1, 0) != 0 || mv.VenueProbability(0, gazetteer.VenueID(d.Corpus.Venues.Len())) != 0 {
+		t.Error("out-of-range ψ̂ readout should be zero")
+	}
+	mu, _ := fitFold(t, d, Config{Seed: 5, Iterations: 2, Variant: FollowingOnly})
+	if mu.VenueProbability(0, 0) != 0 {
+		t.Error("MLP_U has no tweeting model; ψ̂ readout should be zero")
 	}
 }

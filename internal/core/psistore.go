@@ -1,0 +1,347 @@
+package core
+
+import (
+	"mlprofile/internal/gazetteer"
+)
+
+// This file implements the venue-major collapsed count store behind
+// Config.PsiStore (see DESIGN.md §8). The tweet kernel's ψ̂ factor probes
+// the count φ_{l,v} once per candidate per tweet (Eqs. 6/9); with the
+// city-major map layout (model.go) every probe is a hash plus a pointer
+// chase into a different map, and the parallel overlay doubles it. The
+// venue-major layout inverts the nesting: all counts of one venue — the
+// quantity a single tweet update actually needs across its ≤MaxCandidates
+// candidate cities — sit together in one compact open-addressed row, so a
+// per-tweet gather (sweepCtx.gatherPsi) resolves every candidate's count
+// in one pass over the row and the per-candidate cost drops to one array
+// load. Counts are gathered, never approximated, and the ψ̂ smoothing
+// (Model.psiFrom) is shared with the map path, so a PsiStoreOn chain is
+// bit-identical to the PsiStoreOff reference — the golden fingerprint
+// matrix asserts equality across every Workers × kernel × DistTable mode.
+
+// psiEmptySlot marks a free slot in a row's open-addressed key array.
+// City IDs are non-negative, so -1 can never collide with a live key.
+const psiEmptySlot = int32(-1)
+
+// psiRowInitCap is a fresh row's slot count. Venues touch few cities
+// (sampling concentrates each venue's tweets onto a handful of candidate
+// assignments), so rows start small and stay cache-resident.
+const psiRowInitCap = 8
+
+// psiHashCity spreads a city id over a power-of-two table. City ids are
+// small dense integers; the multiplicative mix avoids the clustering
+// linear probing would suffer if consecutive ids hashed consecutively
+// after growth.
+func psiHashCity(l int32) uint32 {
+	h := uint32(l) * 0x9e3779b1
+	return h ^ h>>15
+}
+
+// psiRow is one venue's (city, count) set: open-addressed linear probing
+// over parallel key/value arrays, power-of-two sized, max load 3/4,
+// backward-shift deletion (no tombstones, so probe chains never rot).
+// The base store keeps the count invariant "present ⇒ positive" by
+// deleting at zero; overlay rows hold ±1 deltas that may legitimately be
+// negative or transiently zero, so they only accumulate and are bulk
+// reset at the fold barrier (touched tracks membership in the worker's
+// dirty-venue list).
+type psiRow struct {
+	keys    []int32
+	vals    []float64
+	live    int
+	touched bool
+}
+
+// findOrInsert returns the slot of city l, inserting a zero-count entry
+// if absent. Growth (at 3/4 load) happens only on an actual insertion —
+// updating a present key never widens the row, so the per-tweet churn on
+// existing entries cannot balloon the capacity the gather scans.
+func (r *psiRow) findOrInsert(l int32) int {
+	if len(r.keys) == 0 {
+		r.keys = make([]int32, psiRowInitCap)
+		r.vals = make([]float64, psiRowInitCap)
+		for i := range r.keys {
+			r.keys[i] = psiEmptySlot
+		}
+	}
+	mask := len(r.keys) - 1
+	i := int(psiHashCity(l)) & mask
+	for {
+		switch r.keys[i] {
+		case l:
+			return i
+		case psiEmptySlot:
+			if (r.live+1)*4 > len(r.keys)*3 {
+				r.grow()
+				return r.findOrInsert(l) // re-probe in the grown row
+			}
+			r.keys[i] = l
+			r.vals[i] = 0
+			r.live++
+			return i
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// grow doubles the row and rehashes every live entry.
+func (r *psiRow) grow() {
+	r.rehash(len(r.keys) * 2)
+}
+
+// shrink re-sizes the row down to fit the live entries after deletions
+// thinned it out. Rows balloon once at initialization — random initial
+// assignments spread a venue over many cities — and then concentrate as
+// sampling sharpens profiles; without shrinking, the gather would keep
+// scanning the ballooned capacity forever (measured: tweet-weighted mean
+// capacity 131 slots vs ~8 live after three sweeps on the bench world).
+// Shrink triggers at 1/8 load and re-sizes to 2×live (≥8), so the next
+// grow needs live to ~1.5× and the next shrink needs it to halve —
+// enough hysteresis that the per-tweet remove/add churn cannot thrash.
+func (r *psiRow) shrink() {
+	n := psiRowInitCap
+	for n < r.live*2 {
+		n <<= 1
+	}
+	r.rehash(n)
+}
+
+// rehash moves every live entry into fresh arrays of n slots.
+func (r *psiRow) rehash(n int) {
+	oldKeys, oldVals := r.keys, r.vals
+	r.keys = make([]int32, n)
+	r.vals = make([]float64, n)
+	for i := range r.keys {
+		r.keys[i] = psiEmptySlot
+	}
+	mask := n - 1
+	for i, k := range oldKeys {
+		if k == psiEmptySlot {
+			continue
+		}
+		j := int(psiHashCity(k)) & mask
+		for r.keys[j] != psiEmptySlot {
+			j = (j + 1) & mask
+		}
+		r.keys[j] = k
+		r.vals[j] = oldVals[i]
+	}
+}
+
+// get returns city l's value, zero if absent.
+func (r *psiRow) get(l int32) float64 {
+	if len(r.keys) == 0 {
+		return 0
+	}
+	mask := len(r.keys) - 1
+	i := int(psiHashCity(l)) & mask
+	for {
+		k := r.keys[i]
+		if k == l {
+			return r.vals[i]
+		}
+		if k == psiEmptySlot {
+			return 0
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// delAt frees slot i by the standard linear-probing backward shift:
+// entries after i whose home slot lies cyclically outside (i, j] move
+// back to fill the hole, so lookups never need tombstones.
+func (r *psiRow) delAt(i int) {
+	mask := len(r.keys) - 1
+	j := i
+	for {
+		j = (j + 1) & mask
+		if r.keys[j] == psiEmptySlot {
+			break
+		}
+		h := int(psiHashCity(r.keys[j])) & mask
+		var inChain bool
+		if i <= j {
+			inChain = i < h && h <= j
+		} else {
+			inChain = i < h || h <= j
+		}
+		if inChain {
+			continue
+		}
+		r.keys[i] = r.keys[j]
+		r.vals[i] = r.vals[j]
+		i = j
+	}
+	r.keys[i] = psiEmptySlot
+	r.live--
+	if r.live*8 <= len(r.keys) && len(r.keys) > psiRowInitCap {
+		r.shrink()
+	}
+}
+
+// reset clears every entry in place, keeping the slot capacity for the
+// next parallel tweet phase (overlay rows only).
+func (r *psiRow) reset() {
+	for i := range r.keys {
+		r.keys[i] = psiEmptySlot
+	}
+	r.live = 0
+	r.touched = false
+}
+
+// psiStore holds the venue-major rows: rows[v] is venue v's city counts.
+// The model owns one instance for the collapsed counts; each parallel
+// worker owns a second instance whose rows carry deferred ±1 deltas
+// (sweepCtx.ovl) during the frozen tweet phase.
+type psiStore struct {
+	rows []psiRow
+}
+
+func newPsiStore(numVenues int) *psiStore {
+	return &psiStore{rows: make([]psiRow, numVenues)}
+}
+
+// add accumulates d onto φ_{l,v} and deletes the entry when the count
+// reaches zero, mirroring the map path's delete-at-zero (counts are
+// integer-valued, so exact zero is reachable and "present ⇒ positive"
+// keeps rows minimal).
+func (ps *psiStore) add(v gazetteer.VenueID, l gazetteer.CityID, d float64) {
+	r := &ps.rows[v]
+	i := r.findOrInsert(int32(l))
+	r.vals[i] += d
+	if r.vals[i] <= 0 {
+		r.delAt(i)
+	}
+}
+
+// get returns φ_{l,v}.
+func (ps *psiStore) get(v gazetteer.VenueID, l gazetteer.CityID) float64 {
+	return ps.rows[v].get(int32(l))
+}
+
+// accumDelta adds d to an overlay row without delete-at-zero (deltas may
+// pass through zero and go negative within a phase). firstTouch reports
+// whether this was the venue's first write of the phase, so the caller
+// can register it on the worker's dirty-venue list exactly once.
+func (ps *psiStore) accumDelta(v gazetteer.VenueID, l gazetteer.CityID, d float64) (firstTouch bool) {
+	r := &ps.rows[v]
+	firstTouch = !r.touched
+	r.touched = true
+	i := r.findOrInsert(int32(l))
+	r.vals[i] += d
+	return firstTouch
+}
+
+// psiGatherWorthwhile reports whether a gather beats per-candidate row
+// probes for venue v: the gather scans the row's full slot capacity once
+// (~1ns/slot — a branch and two stores), the probe path pays a hash,
+// a probe chain, and a call per candidate (~6-8ns; twice that with an
+// overlay). Early in sampling a popular venue's row is wide (random
+// initial assignments spread it over many cities), so the probe path
+// wins; once profiles concentrate and shrink compacts the row, the
+// gather wins. The 6× factor is the measured cost ratio. Both paths
+// resolve the exact same counts, so the choice never affects the chain.
+func (c *sweepCtx) psiGatherWorthwhile(v gazetteer.VenueID, nCand int) bool {
+	scan := len(c.m.ps.rows[v].keys)
+	if c.ovl != nil {
+		scan += len(c.ovl.rows[v].keys)
+		nCand *= 2
+	}
+	return scan <= 6*nCand
+}
+
+// psiGatherCell is one city's slot in the gather scratch: the count
+// gathered for the current venue, valid iff stamp equals the ctx epoch.
+// Interleaving count and stamp keeps each gather write and each
+// per-candidate read on one cache line.
+type psiGatherCell struct {
+	cnt   float64
+	stamp uint64
+}
+
+// gatherPsi stamps venue v's counts — the base store row plus, on a
+// parallel worker, the overlay row's pending deltas — into the ctx's
+// epoch-stamped scratch. One pass over the (small) row replaces the
+// per-candidate probes of the map path: after the gather,
+// gatheredPsi(l) is an array read per candidate. The epoch stamp makes
+// clearing free; stamps are uint64, so wraparound is unreachable.
+func (c *sweepCtx) gatherPsi(v gazetteer.VenueID) {
+	m := c.m
+	if len(c.gcells) != len(m.venueSum) {
+		c.gcells = make([]psiGatherCell, len(m.venueSum))
+	}
+	c.gepoch++
+	row := &m.ps.rows[v]
+	for i, k := range row.keys {
+		if k >= 0 {
+			c.gcells[k] = psiGatherCell{cnt: row.vals[i], stamp: c.gepoch}
+		}
+	}
+	if c.ovl != nil {
+		orow := &c.ovl.rows[v]
+		for i, k := range orow.keys {
+			if k >= 0 {
+				if c.gcells[k].stamp == c.gepoch {
+					c.gcells[k].cnt += orow.vals[i]
+				} else {
+					c.gcells[k] = psiGatherCell{cnt: orow.vals[i], stamp: c.gepoch}
+				}
+			}
+		}
+	}
+}
+
+// gatheredPsi is ψ̂_l(v) for the venue of the last gatherPsi call, as
+// seen by this stream (own overlay deltas included on both the count and
+// the sum side).
+func (c *sweepCtx) gatheredPsi(l gazetteer.CityID) float64 {
+	m := c.m
+	var cnt float64
+	if cell := &c.gcells[l]; cell.stamp == c.gepoch {
+		cnt = cell.cnt
+	}
+	sum := m.venueSum[l]
+	if c.ovl != nil {
+		sum += c.ovlSum[l]
+	}
+	return m.psiFrom(cnt, sum)
+}
+
+// gatheredPsiExcl is gatheredPsi with one observation at city ex
+// excluded — the "−1" form of Eqs. 6/9. Only city ex's count and sum are
+// affected, and the counts are integer-valued floats, so subtracting
+// here is bit-identical to the reference kernel's remove-then-read.
+func (c *sweepCtx) gatheredPsiExcl(l, ex gazetteer.CityID) float64 {
+	m := c.m
+	var cnt float64
+	if cell := &c.gcells[l]; cell.stamp == c.gepoch {
+		cnt = cell.cnt
+	}
+	sum := m.venueSum[l]
+	if c.ovl != nil {
+		sum += c.ovlSum[l]
+	}
+	if l == ex {
+		cnt--
+		sum--
+	}
+	return m.psiFrom(cnt, sum)
+}
+
+// psiExcl is the probe-path analogue of gatheredPsiExcl: ψ̂_l(v) with one
+// observation at city ex excluded, resolved by direct row probes (store
+// path only).
+func (c *sweepCtx) psiExcl(l gazetteer.CityID, v gazetteer.VenueID, ex gazetteer.CityID) float64 {
+	m := c.m
+	cnt := m.ps.get(v, l)
+	sum := m.venueSum[l]
+	if c.ovl != nil {
+		cnt += c.ovl.get(v, l)
+		sum += c.ovlSum[l]
+	}
+	if l == ex {
+		cnt--
+		sum--
+	}
+	return m.psiFrom(cnt, sum)
+}

@@ -379,8 +379,14 @@ func (m *Model) updateEdgeBlockedTable(ctx *sweepCtx, s int) {
 
 // updateTweet resamples z_k (Eq. 9) and ν_k (Eq. 6) for one tweeting
 // relationship, with the same counts-only-while-location-based convention
-// as updateEdge.
+// as updateEdge. This is the reference kernel over the city-major map
+// layout; with the venue-major store on, updateTweetStore takes over
+// (same conditionals, same draws, fingerprint-locked to this path).
 func (m *Model) updateTweet(ctx *sweepCtx, k int) {
+	if m.ps != nil {
+		m.updateTweetStore(ctx, k)
+		return
+	}
 	t := m.corpus.Tweets[k]
 	cand := m.cands.cand[t.User]
 	gamma := m.cands.gamma[t.User]
@@ -428,6 +434,136 @@ func (m *Model) updateTweet(ctx *sweepCtx, k int) {
 	if counted {
 		ctx.addVenue(z, t.Venue)
 	}
+	if noisy == m.nu[k] {
+		return
+	}
+	m.nu[k] = noisy
+	if noisy {
+		phi[zi]--
+		m.phiSum[t.User]--
+		ctx.removeVenue(z, t.Venue)
+	} else {
+		phi[zi]++
+		m.phiSum[t.User]++
+		ctx.addVenue(z, t.Venue)
+	}
+}
+
+// updateTweetStore is the venue-major form of the tweet kernel, active
+// when Config.PsiStore is on. It computes the exact expressions of the
+// reference kernel — same conditionals, same two draws, identical RNG
+// consumption — with two structural savings:
+//
+//   - the per-candidate ψ̂ probes become one gather over the venue's row
+//     (or direct row probes when the row is wider than the candidate
+//     set — psiGatherWorthwhile; either way the same counts);
+//   - the remove-read-add churn around the exclusions goes away. The
+//     reference excludes the current assignment by mutating the counts
+//     and reading them back; here the exclusion is applied
+//     arithmetically to the one city it affects (cnt−1, sum−1 — exact,
+//     the counts are integer-valued floats), and the store is written
+//     only when the assignment actually moves. Final counts and every
+//     value fed to a draw are bit-identical to the reference; the
+//     golden matrix locks this.
+func (m *Model) updateTweetStore(ctx *sweepCtx, k int) {
+	t := m.corpus.Tweets[k]
+	cand := m.cands.cand[t.User]
+	gamma := m.cands.gamma[t.User]
+	phi := m.phi[t.User]
+	counted := !m.nu[k]
+
+	// --- z_k (Eq. 9) ---
+	zi := int(m.tz[k])
+	exCity := cand[zi] // the excluded assignment's city, when counted
+	if counted {
+		phi[zi]--
+		m.phiSum[t.User]--
+	}
+	weights := ctx.buf(len(cand))
+	switch {
+	case !counted:
+		for c := range cand {
+			weights[c] = phi[c] + gamma[c]
+		}
+	case ctx.psiGatherWorthwhile(t.Venue, len(cand)):
+		ctx.gatherPsi(t.Venue)
+		if ctx.ovl == nil {
+			gcells, ep := ctx.gcells, ctx.gepoch
+			for c, l := range cand {
+				var cnt float64
+				if cell := &gcells[l]; cell.stamp == ep {
+					cnt = cell.cnt
+				}
+				sum := m.venueSum[l]
+				if l == exCity {
+					cnt--
+					sum--
+				}
+				weights[c] = (phi[c] + gamma[c]) * m.psiFrom(cnt, sum)
+			}
+		} else {
+			for c, l := range cand {
+				weights[c] = (phi[c] + gamma[c]) * ctx.gatheredPsiExcl(l, exCity)
+			}
+		}
+	default:
+		// Probe path, split by overlay presence so the row probes inline
+		// into the loop (ctx.psiExcl's body, without the per-candidate
+		// call).
+		base := &m.ps.rows[t.Venue]
+		if ctx.ovl == nil {
+			for c, l := range cand {
+				cnt := base.get(int32(l))
+				sum := m.venueSum[l]
+				if l == exCity {
+					cnt--
+					sum--
+				}
+				weights[c] = (phi[c] + gamma[c]) * m.psiFrom(cnt, sum)
+			}
+		} else {
+			orow := &ctx.ovl.rows[t.Venue]
+			for c, l := range cand {
+				cnt := base.get(int32(l)) + orow.get(int32(l))
+				sum := m.venueSum[l] + ctx.ovlSum[l]
+				if l == exCity {
+					cnt--
+					sum--
+				}
+				weights[c] = (phi[c] + gamma[c]) * m.psiFrom(cnt, sum)
+			}
+		}
+	}
+	next := randutil.Categorical(ctx.rng, weights)
+	if next < 0 {
+		next = zi
+	}
+	m.tz[k] = uint16(next)
+	if counted {
+		phi[next]++
+		m.phiSum[t.User]++
+		if cand[next] != exCity {
+			ctx.removeVenue(exCity, t.Venue)
+			ctx.addVenue(cand[next], t.Venue)
+		}
+	}
+	zi = next
+
+	// --- ν_k (Eq. 6) ---
+	if m.cfg.RhoT <= 0 || m.curIter <= m.cfg.NoiseBurnIn {
+		return
+	}
+	z := cand[zi]
+	var psiZ float64
+	if counted {
+		psiZ = ctx.psiExcl(z, t.Venue, z) // exclude self
+	} else {
+		psiZ = ctx.psi(z, t.Venue)
+	}
+	thetaZ := m.theta(t.User, zi, counted)
+	p1 := m.cfg.RhoT * m.tr[t.Venue]
+	p0 := (1 - m.cfg.RhoT) * thetaZ * psiZ
+	noisy := randutil.Bernoulli(ctx.rng, p1/(p0+p1))
 	if noisy == m.nu[k] {
 		return
 	}

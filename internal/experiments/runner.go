@@ -50,6 +50,9 @@ type Options struct {
 	// DistTable selects the sampler's distance fast path (default on;
 	// core.DistTableOff runs the exact reference sampler).
 	DistTable core.DistTableMode
+	// PsiStore selects the collapsed venue-count layout (default
+	// venue-major; core.PsiStoreOff runs the city-major map reference).
+	PsiStore core.PsiStoreMode
 }
 
 func (o Options) withDefaults() Options {
@@ -236,6 +239,7 @@ func (r *Runner) runFold(f int, test []dataset.UserID) (*foldResult, error) {
 			Workers:    r.foldWorkers(),
 			GibbsEM:    !r.opts.DisableGibbsEM,
 			DistTable:  r.opts.DistTable,
+			PsiStore:   r.opts.PsiStore,
 		}
 		if name == MethodMLP && f == 0 {
 			// Fig. 5: trace test accuracy across sweeps.
@@ -307,6 +311,7 @@ func (r *Runner) ensureFull() error {
 		Workers:    r.opts.Workers,
 		GibbsEM:    !r.opts.DisableGibbsEM,
 		DistTable:  r.opts.DistTable,
+		PsiStore:   r.opts.PsiStore,
 	})
 	if err != nil {
 		return err

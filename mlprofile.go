@@ -116,6 +116,19 @@ const (
 	DistTableOff  = core.DistTableOff
 )
 
+// PsiStoreMode selects the storage layout of the collapsed venue counts
+// behind the tweet kernel's ψ̂ factor (ModelConfig.PsiStore).
+type PsiStoreMode = core.PsiStoreMode
+
+// Venue-count layouts: the venue-major open-addressed store (the
+// default) vs the city-major map reference. The two are bit-identical in
+// every fitted quantity (see DESIGN.md §8).
+const (
+	PsiStoreAuto = core.PsiStoreAuto
+	PsiStoreOn   = core.PsiStoreOn
+	PsiStoreOff  = core.PsiStoreOff
+)
+
 // Fit runs MLP inference over a corpus.
 func Fit(c *Corpus, cfg ModelConfig) (*Model, error) { return core.Fit(c, cfg) }
 
