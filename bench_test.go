@@ -304,6 +304,16 @@ var benchPsiModes = []struct {
 	{"venue", core.PsiStoreOn},
 }
 
+// benchDrawModes is the FusedDraw axis: the reference fill +
+// Categorical path vs the fused prefix-sum pipeline (the default).
+var benchDrawModes = []struct {
+	name string
+	mode core.FusedDrawMode
+}{
+	{"scan", core.FusedDrawOff},
+	{"fused", core.FusedDrawOn},
+}
+
 // BenchmarkGibbsSweep measures raw sampler throughput: relationships
 // resampled per second on the bench world, across the full execution
 // matrix — per-variable vs blocked edge kernel, exact vs distance-table
@@ -326,24 +336,27 @@ func BenchmarkGibbsSweep(b *testing.B) {
 	}{{"pervar", false}, {"blocked", true}} {
 		for _, dist := range benchDistModes {
 			for _, psi := range benchPsiModes {
-				for _, workers := range workerCounts {
-					name := fmt.Sprintf("kernel=%s/dist=%s/psi=%s/workers=%d", kernel.name, dist.name, psi.name, workers)
-					b.Run(name, func(b *testing.B) {
-						// 8 sweeps per fit and a reduced init pair sample,
-						// so the op measures sweep throughput rather than
-						// the per-fit setup; cmd/mlpbench separates the two
-						// exactly.
-						const sweeps = 8
-						for i := 0; i < b.N; i++ {
-							cfg := core.Config{Seed: int64(i), Iterations: sweeps, NoiseBurnIn: 1,
-								EMPairSample: 20000, Workers: workers,
-								BlockedSampler: kernel.blocked, DistTable: dist.mode, PsiStore: psi.mode}
-							if _, err := core.Fit(c, cfg); err != nil {
-								b.Fatal(err)
+				for _, draw := range benchDrawModes {
+					for _, workers := range workerCounts {
+						name := fmt.Sprintf("kernel=%s/dist=%s/psi=%s/draw=%s/workers=%d", kernel.name, dist.name, psi.name, draw.name, workers)
+						b.Run(name, func(b *testing.B) {
+							// 8 sweeps per fit and a reduced init pair sample,
+							// so the op measures sweep throughput rather than
+							// the per-fit setup; cmd/mlpbench separates the two
+							// exactly.
+							const sweeps = 8
+							for i := 0; i < b.N; i++ {
+								cfg := core.Config{Seed: int64(i), Iterations: sweeps, NoiseBurnIn: 1,
+									EMPairSample: 20000, Workers: workers,
+									BlockedSampler: kernel.blocked, DistTable: dist.mode, PsiStore: psi.mode,
+									FusedDraw: draw.mode}
+								if _, err := core.Fit(c, cfg); err != nil {
+									b.Fatal(err)
+								}
 							}
-						}
-						b.ReportMetric(float64(rels*sweeps*b.N)/b.Elapsed().Seconds(), "rels/s")
-					})
+							b.ReportMetric(float64(rels*sweeps*b.N)/b.Elapsed().Seconds(), "rels/s")
+						})
+					}
 				}
 			}
 		}

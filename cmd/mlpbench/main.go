@@ -1,24 +1,35 @@
 // Command mlpbench runs the sampler benchmark matrix — edge kernel ×
-// distance mode × ψ̂-store mode × worker count — on a synthetic world and
-// writes the results as JSON, so the performance trajectory is tracked
-// as a checked-in artifact from PR to PR instead of scrollback.
+// distance mode × ψ̂-store mode × draw pipeline × worker count — on a
+// synthetic world and writes the results as JSON, so the performance
+// trajectory is tracked as a checked-in artifact from PR to PR instead
+// of scrollback.
 //
 // Usage:
 //
 //	mlpbench                                  # bench world, BENCH_sampler.json
 //	mlpbench -users 2000 -sweeps 10 -out BENCH_big.json
+//	mlpbench -count 5                         # median of 5 timings per cell
 //	mlpbench -compare BENCH_sampler.json      # also print deltas vs a prior run
+//	mlpbench -trend a.json b.json c.json      # per-cell trajectory across runs
+//	mlpbench -cpuprofile cpu.prof             # profile the measured fits
 //
 // Each matrix cell is measured as two fits — one initialization-only and
 // one with -sweeps Gibbs iterations — so the reported per-sweep time
 // excludes the world-dependent setup (candidate construction, distance
-// table build, power-law init).
+// table build, power-law init). With -count > 1 the cell is measured
+// that many times and the median per-sweep time is reported, which is
+// what CI uses to keep the delta report from flapping on noisy runners.
 //
 // -compare loads a previously written report and prints the per-config
 // sweep-time deltas (matched by cell name; cells present on only one
 // side are flagged). It never fails the run — the CI leg that invokes it
 // is informational, keeping the perf trajectory visible on every PR
 // without making noisy runners a gate.
+//
+// -trend skips benchmarking entirely: it loads the report files given as
+// positional arguments (oldest first) and prints each cell's sweep-time
+// trajectory across all of them — the multi-run view -compare's pairwise
+// diff cannot give.
 package main
 
 import (
@@ -28,6 +39,8 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"sort"
 	"time"
 
 	"mlprofile/internal/core"
@@ -41,6 +54,7 @@ type Result struct {
 	Kernel       string  `json:"kernel"`
 	Dist         string  `json:"dist"`
 	Psi          string  `json:"psi"`
+	Draw         string  `json:"draw"`
 	Workers      int     `json:"workers"`
 	InitSeconds  float64 `json:"init_seconds"`
 	SweepSeconds float64 `json:"sweep_seconds"`
@@ -57,6 +71,7 @@ type Report struct {
 	Edges      int      `json:"edges"`
 	Tweets     int      `json:"tweets"`
 	Sweeps     int      `json:"sweeps"`
+	Count      int      `json:"count,omitempty"`
 	Results    []Result `json:"results"`
 }
 
@@ -65,14 +80,31 @@ func main() {
 	log.SetPrefix("mlpbench: ")
 
 	var (
-		users     = flag.Int("users", 700, "world size in users")
-		locations = flag.Int("locations", 200, "gazetteer size")
-		seed      = flag.Int64("seed", 5, "world + sampler seed")
-		sweeps    = flag.Int("sweeps", 5, "measured Gibbs sweeps per cell")
-		out       = flag.String("out", "BENCH_sampler.json", "output JSON path")
-		compare   = flag.String("compare", "", "prior report JSON to diff the fresh run against")
+		users      = flag.Int("users", 700, "world size in users")
+		locations  = flag.Int("locations", 200, "gazetteer size")
+		seed       = flag.Int64("seed", 5, "world + sampler seed")
+		sweeps     = flag.Int("sweeps", 5, "measured Gibbs sweeps per cell")
+		count      = flag.Int("count", 1, "timings per cell; the median is reported")
+		out        = flag.String("out", "BENCH_sampler.json", "output JSON path")
+		compare    = flag.String("compare", "", "prior report JSON to diff the fresh run against")
+		trend      = flag.Bool("trend", false, "print per-cell trajectories across the report files given as arguments (no benchmarking)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the measured fits")
+		memprofile = flag.String("memprofile", "", "write a heap profile after the run")
 	)
 	flag.Parse()
+
+	if *trend {
+		if flag.NArg() < 2 {
+			log.Fatal("-trend needs at least two report files (oldest first)")
+		}
+		if err := printTrend(flag.Args()); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *count < 1 {
+		*count = 1
+	}
 
 	d, err := synth.Generate(synth.Config{Seed: *seed, NumUsers: *users, NumLocations: *locations})
 	if err != nil {
@@ -81,6 +113,19 @@ func main() {
 	test := dataset.KFold(len(d.Corpus.Users), 5, 99)[0]
 	c := d.Corpus.WithUsers(d.Corpus.HideLabels(test))
 	rels := len(c.Edges) + len(c.Tweets)
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		cpuProfiling = true
+		defer pprof.StopCPUProfile()
+	}
 
 	rep := Report{
 		Generated:  time.Now().UTC().Format(time.RFC3339),
@@ -91,6 +136,7 @@ func main() {
 		Edges:      len(c.Edges),
 		Tweets:     len(c.Tweets),
 		Sweeps:     *sweeps,
+		Count:      *count,
 	}
 
 	workerCounts := []int{1}
@@ -103,36 +149,49 @@ func main() {
 	}{{"pervar", false}, {"blocked", true}} {
 		for _, dist := range []core.DistTableMode{core.DistTableOff, core.DistTableOn} {
 			for _, psi := range []core.PsiStoreMode{core.PsiStoreOff, core.PsiStoreOn} {
-				for _, workers := range workerCounts {
-					cfg := core.Config{Seed: *seed, NoiseBurnIn: 1, Workers: workers,
-						BlockedSampler: kernel.blocked, DistTable: dist, PsiStore: psi}
-					timeFit := func(iters int) float64 {
-						cfg.Iterations = iters
-						start := time.Now()
-						if _, err := core.Fit(c, cfg); err != nil {
-							log.Fatal(err)
+				for _, draw := range []core.FusedDrawMode{core.FusedDrawOff, core.FusedDrawOn} {
+					for _, workers := range workerCounts {
+						cfg := core.Config{Seed: *seed, NoiseBurnIn: 1, Workers: workers,
+							BlockedSampler: kernel.blocked, DistTable: dist, PsiStore: psi, FusedDraw: draw}
+						timeFit := func(iters int) float64 {
+							cfg.Iterations = iters
+							start := time.Now()
+							if _, err := core.Fit(c, cfg); err != nil {
+								fatal(err)
+							}
+							return time.Since(start).Seconds()
 						}
-						return time.Since(start).Seconds()
+						// Median of -count measurements: each measurement is
+						// the (tN - t1)/sweeps pair, so per-run init jitter
+						// cancels inside the pair and the median discards
+						// the cross-run outliers noisy runners produce.
+						inits := make([]float64, 0, *count)
+						perSweeps := make([]float64, 0, *count)
+						for r := 0; r < *count; r++ {
+							t1 := timeFit(1)
+							tN := timeFit(1 + *sweeps)
+							perSweep := (tN - t1) / float64(*sweeps)
+							if perSweep <= 0 {
+								perSweep = t1 // degenerate tiny worlds; fall back to the full fit
+							}
+							inits = append(inits, t1)
+							perSweeps = append(perSweeps, perSweep)
+						}
+						r := Result{
+							Name: fmt.Sprintf("kernel=%s/dist=%s/psi=%s/draw=%s/workers=%d",
+								kernel.name, dist, psi, draw, workers),
+							Kernel:       kernel.name,
+							Dist:         dist.String(),
+							Psi:          psi.String(),
+							Draw:         draw.String(),
+							Workers:      workers,
+							InitSeconds:  median(inits),
+							SweepSeconds: median(perSweeps),
+							RelsPerSec:   float64(rels) / median(perSweeps),
+						}
+						rep.Results = append(rep.Results, r)
+						log.Printf("%-60s sweep %8.2fms  %10.0f rels/s", r.Name, r.SweepSeconds*1e3, r.RelsPerSec)
 					}
-					t1 := timeFit(1)
-					tN := timeFit(1 + *sweeps)
-					perSweep := (tN - t1) / float64(*sweeps)
-					if perSweep <= 0 {
-						perSweep = t1 // degenerate tiny worlds; fall back to the full fit
-					}
-					r := Result{
-						Name: fmt.Sprintf("kernel=%s/dist=%s/psi=%s/workers=%d",
-							kernel.name, dist, psi, workers),
-						Kernel:       kernel.name,
-						Dist:         dist.String(),
-						Psi:          psi.String(),
-						Workers:      workers,
-						InitSeconds:  t1,
-						SweepSeconds: perSweep,
-						RelsPerSec:   float64(rels) / perSweep,
-					}
-					rep.Results = append(rep.Results, r)
-					log.Printf("%-50s sweep %8.2fms  %10.0f rels/s", r.Name, perSweep*1e3, r.RelsPerSec)
 				}
 			}
 		}
@@ -140,17 +199,61 @@ func main() {
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	buf = append(buf, '\n')
 	if err := os.WriteFile(*out, buf, 0o644); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	log.Printf("wrote %s", *out)
 
 	if *compare != "" {
 		compareReports(*compare, &rep)
 	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// cpuProfiling records that a CPU profile is in flight, so fatal exits
+// can flush it: log.Fatal os.Exits past the deferred StopCPUProfile,
+// which would otherwise leave a truncated, unusable profile.
+var cpuProfiling bool
+
+func fatal(v ...any) {
+	if cpuProfiling {
+		pprof.StopCPUProfile()
+	}
+	log.Fatal(v...)
+}
+
+// median returns the middle value (lower middle for even counts) without
+// disturbing the input order.
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[(len(s)-1)/2]
+}
+
+// loadReport reads one mlpbench JSON document.
+func loadReport(path string) (*Report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
 }
 
 // compareReports diffs the fresh run against a prior report, matching
@@ -158,14 +261,9 @@ func main() {
 // that exist on one side only (the matrix grows as knobs are added, so a
 // one-sided cell is expected right after a new dimension lands).
 func compareReports(path string, fresh *Report) {
-	buf, err := os.ReadFile(path)
+	old, err := loadReport(path)
 	if err != nil {
 		log.Printf("compare: %v (skipping diff)", err)
-		return
-	}
-	var old Report
-	if err := json.Unmarshal(buf, &old); err != nil {
-		log.Printf("compare: %s: %v (skipping diff)", path, err)
 		return
 	}
 	// SweepSeconds is per-sweep normalized, so a different -sweeps count
@@ -185,17 +283,87 @@ func compareReports(path string, fresh *Report) {
 	log.Printf("compare vs %s (generated %s, %s):", path, old.Generated, old.GoVersion)
 	for _, r := range fresh.Results {
 		o, ok := oldByName[r.Name]
+		note := ""
+		if ok {
+			delete(oldByName, r.Name)
+		} else if r.Draw == "fused" {
+			// A report from before the draw axis carries this cell under
+			// its shorter pre-axis name. That run's draw pipeline was the
+			// then-default; the fresh default is the fused cell, so the
+			// default-config trajectory continues there (labeled, since
+			// the two sides ran different draw code).
+			legacy := fmt.Sprintf("kernel=%s/dist=%s/psi=%s/workers=%d", r.Kernel, r.Dist, r.Psi, r.Workers)
+			if o, ok = oldByName[legacy]; ok {
+				delete(oldByName, legacy)
+				note = "  (vs pre-draw-axis default)"
+			}
+		}
 		if !ok {
-			log.Printf("  %-50s %8.2fms  (new cell)", r.Name, r.SweepSeconds*1e3)
+			log.Printf("  %-60s %8.2fms  (new cell)", r.Name, r.SweepSeconds*1e3)
 			continue
 		}
-		delete(oldByName, r.Name)
-		log.Printf("  %-50s %8.2fms -> %8.2fms  (%+.1f%%, %0.2fx)",
+		log.Printf("  %-60s %8.2fms -> %8.2fms  (%+.1f%%, %0.2fx)%s",
 			r.Name, o.SweepSeconds*1e3, r.SweepSeconds*1e3,
 			100*(r.SweepSeconds-o.SweepSeconds)/o.SweepSeconds,
-			o.SweepSeconds/r.SweepSeconds)
+			o.SweepSeconds/r.SweepSeconds, note)
 	}
 	for name, o := range oldByName {
-		log.Printf("  %-50s %8.2fms  (cell gone from matrix)", name, o.SweepSeconds*1e3)
+		log.Printf("  %-60s %8.2fms  (cell gone from matrix)", name, o.SweepSeconds*1e3)
 	}
+}
+
+// printTrend loads the given reports (oldest first) and prints every
+// cell's sweep-time trajectory across all of them.
+func printTrend(paths []string) error {
+	reps := make([]*Report, 0, len(paths))
+	for _, p := range paths {
+		r, err := loadReport(p)
+		if err != nil {
+			return err
+		}
+		reps = append(reps, r)
+	}
+	// Cells in first-appearance order across the run sequence, so cells
+	// added by a new matrix axis list after the long-lived ones.
+	var order []string
+	seen := map[string]bool{}
+	for _, r := range reps {
+		for _, c := range r.Results {
+			if !seen[c.Name] {
+				seen[c.Name] = true
+				order = append(order, c.Name)
+			}
+		}
+	}
+	log.Printf("trend across %d runs:", len(reps))
+	for i, r := range reps {
+		log.Printf("  run %d: %s (generated %s, %s)", i+1, paths[i], r.Generated, r.GoVersion)
+	}
+	for _, name := range order {
+		line := fmt.Sprintf("  %-60s", name)
+		var first, last float64
+		haveFirst := false
+		for _, r := range reps {
+			found := false
+			for _, c := range r.Results {
+				if c.Name == name {
+					line += fmt.Sprintf(" %8.2fms", c.SweepSeconds*1e3)
+					if !haveFirst {
+						first, haveFirst = c.SweepSeconds, true
+					}
+					last = c.SweepSeconds
+					found = true
+					break
+				}
+			}
+			if !found {
+				line += fmt.Sprintf(" %9s", "-")
+			}
+		}
+		if haveFirst && last > 0 {
+			line += fmt.Sprintf("  (%0.2fx first→last)", first/last)
+		}
+		log.Print(line)
+	}
+	return nil
 }

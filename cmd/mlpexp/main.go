@@ -35,6 +35,7 @@ func main() {
 		noEM      = flag.Bool("no-em", false, "disable Gibbs-EM refinement")
 		dtable    = flag.Bool("disttable", true, "serve d^alpha from the quantized distance table (false = exact per-pair evaluation)")
 		pstore    = flag.Bool("psistore", true, "store collapsed venue counts venue-major (false = city-major maps, the reference layout)")
+		fdraw     = flag.Bool("fuseddraw", true, "draw with the fused prefix-sum pipeline (false = reference fill + Categorical path)")
 	)
 	flag.Parse()
 
@@ -49,6 +50,7 @@ func main() {
 		DisableGibbsEM: *noEM,
 		DistTable:      core.DistTableFor(*dtable),
 		PsiStore:       core.PsiStoreFor(*pstore),
+		FusedDraw:      core.FusedDrawFor(*fdraw),
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -37,6 +37,7 @@ func main() {
 		workers = flag.Int("workers", 0, "Gibbs sweep goroutines (0 = GOMAXPROCS; 1 = exact sequential sampler)")
 		dtable  = flag.Bool("disttable", true, "serve d^alpha from the quantized distance table (false = exact per-pair evaluation)")
 		pstore  = flag.Bool("psistore", true, "store collapsed venue counts venue-major (false = city-major maps, the reference layout)")
+		fdraw   = flag.Bool("fuseddraw", true, "draw with the fused prefix-sum pipeline (false = reference fill + Categorical path)")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -70,6 +71,7 @@ func main() {
 		GibbsEM:    *em,
 		DistTable:  core.DistTableFor(*dtable),
 		PsiStore:   core.PsiStoreFor(*pstore),
+		FusedDraw:  core.FusedDrawFor(*fdraw),
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -96,6 +96,47 @@ func (p PsiStoreMode) String() string {
 	}
 }
 
+// FusedDrawMode selects how the update kernels perform their categorical
+// draws (see DESIGN.md §9).
+type FusedDrawMode int
+
+const (
+	// FusedDrawAuto defers to the default, which is FusedDrawOn.
+	FusedDrawAuto FusedDrawMode = iota
+	// FusedDrawOn runs the fused single-pass draw pipeline: the weight
+	// loops emit running prefix sums and a single-uniform inversion
+	// (randutil.InvertCum) replaces Categorical's sum-and-scan. The fused
+	// path consumes randomness draw-for-draw identically to the reference
+	// and accumulates in the same order; its hoisted ψ̂ reciprocal and
+	// ϕ+γ mirror perturb tweet weights at the ulp scale (DESIGN.md §9),
+	// which flips no draw on the golden matrix (locked bit-identical
+	// there) and is equivalence-locked in general.
+	FusedDrawOn
+	// FusedDrawOff keeps the reference three-pass path: raw weight fill
+	// followed by randutil.Categorical, untouched from before the fused
+	// pipeline landed.
+	FusedDrawOff
+)
+
+// FusedDrawFor maps a boolean toggle (as CLI flags expose it) onto the
+// mode knob.
+func FusedDrawFor(on bool) FusedDrawMode {
+	if on {
+		return FusedDrawOn
+	}
+	return FusedDrawOff
+}
+
+// String names the mode for logs and bench labels.
+func (f FusedDrawMode) String() string {
+	switch f {
+	case FusedDrawOff:
+		return "scan"
+	default:
+		return "fused"
+	}
+}
+
 // Variant selects which observation types the model consumes.
 type Variant int
 
@@ -208,6 +249,17 @@ type Config struct {
 	// bit-identical across the knob (determinism_test.go's golden matrix).
 	PsiStore PsiStoreMode
 
+	// FusedDraw selects the categorical draw pipeline (default
+	// FusedDrawOn): every kernel's weight loop writes running prefix sums
+	// and inverts one uniform over them in a single fused pass, versus
+	// the reference fill + randutil.Categorical (FusedDrawOff). The two
+	// paths accumulate in the same order and consume randomness
+	// identically; the fused tweet fills' hoisted reciprocal deviates by
+	// ≤2 ulp per weight, so fits are bit-identical on the golden matrix
+	// (determinism_test.go) and ≥99%-top-1/α-tolerance equivalent in
+	// general (equivalence_test.go).
+	FusedDraw FusedDrawMode
+
 	// DisableNoiseMixture forces every relationship location-based
 	// (ρ_f = ρ_t = 0) — the ablation of the paper's first mixture level.
 	DisableNoiseMixture bool
@@ -266,6 +318,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PsiStore == PsiStoreAuto {
 		c.PsiStore = PsiStoreOn
+	}
+	if c.FusedDraw == FusedDrawAuto {
+		c.FusedDraw = FusedDrawOn
 	}
 	if c.DisableNoiseMixture {
 		c.RhoF, c.RhoT = 0, 0

@@ -123,6 +123,25 @@ var goldenPsiModes = []struct {
 	{"psi=venue", PsiStoreOn},
 }
 
+// goldenDrawModes is the FusedDraw axis. draw=scan is the reference
+// three-pass fill + Categorical path, which must keep reproducing the
+// frozen fingerprints byte for byte. draw=fused accumulates the same
+// weight terms in the same order and consumes the RNG draw-for-draw
+// identically, so its draws match the scan path exactly except for the
+// tweet fills' hoisted reciprocal ψ̂ (≤2 ulp per weight, DESIGN.md §9)
+// — which, like the distance table's quantization, flips no draw on the
+// golden world, so every fused cell must reproduce the same
+// fingerprint. A fused divergence with an intact scan fingerprint means
+// the fused pipeline drifted (RNG consumption, accumulation order, or
+// an inversion-boundary bug), not that the golden is stale.
+var goldenDrawModes = []struct {
+	name string
+	draw FusedDrawMode
+}{
+	{"draw=scan", FusedDrawOff},
+	{"draw=fused", FusedDrawOn},
+}
+
 func TestGoldenFingerprintMatrix(t *testing.T) {
 	d, err := synth.Generate(*goldenWorld(t))
 	if err != nil {
@@ -130,21 +149,24 @@ func TestGoldenFingerprintMatrix(t *testing.T) {
 	}
 	for _, g := range goldenMatrix {
 		for _, p := range goldenPsiModes {
-			t.Run(g.name+"/"+p.name, func(t *testing.T) {
-				cfg := goldenCfg()
-				cfg.Workers = g.workers
-				cfg.DistTable = g.dist
-				cfg.PsiStore = p.psi
-				m, err := Fit(&d.Corpus, cfg)
-				if err != nil {
-					t.Fatal(err)
-				}
-				got := fitFingerprint(m)
-				t.Logf("fingerprint: %#x", got)
-				if got != g.fingerprint {
-					t.Errorf("%s/%s fingerprint %#x differs from golden %#x", g.name, p.name, got, g.fingerprint)
-				}
-			})
+			for _, f := range goldenDrawModes {
+				t.Run(g.name+"/"+p.name+"/"+f.name, func(t *testing.T) {
+					cfg := goldenCfg()
+					cfg.Workers = g.workers
+					cfg.DistTable = g.dist
+					cfg.PsiStore = p.psi
+					cfg.FusedDraw = f.draw
+					m, err := Fit(&d.Corpus, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got := fitFingerprint(m)
+					t.Logf("fingerprint: %#x", got)
+					if got != g.fingerprint {
+						t.Errorf("%s/%s/%s fingerprint %#x differs from golden %#x", g.name, p.name, f.name, got, g.fingerprint)
+					}
+				})
+			}
 		}
 	}
 }
@@ -172,21 +194,24 @@ func TestGoldenMatrixBlocked(t *testing.T) {
 	}
 	for _, g := range goldenBlocked {
 		for _, p := range goldenPsiModes {
-			t.Run(g.name+"/"+p.name, func(t *testing.T) {
-				cfg := goldenCfg()
-				cfg.BlockedSampler = true
-				cfg.DistTable = g.dist
-				cfg.PsiStore = p.psi
-				m, err := Fit(&d.Corpus, cfg)
-				if err != nil {
-					t.Fatal(err)
-				}
-				got := fitFingerprint(m)
-				t.Logf("fingerprint: %#x", got)
-				if got != g.fingerprint {
-					t.Errorf("%s/%s fingerprint %#x differs from golden %#x", g.name, p.name, got, g.fingerprint)
-				}
-			})
+			for _, f := range goldenDrawModes {
+				t.Run(g.name+"/"+p.name+"/"+f.name, func(t *testing.T) {
+					cfg := goldenCfg()
+					cfg.BlockedSampler = true
+					cfg.DistTable = g.dist
+					cfg.PsiStore = p.psi
+					cfg.FusedDraw = f.draw
+					m, err := Fit(&d.Corpus, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got := fitFingerprint(m)
+					t.Logf("fingerprint: %#x", got)
+					if got != g.fingerprint {
+						t.Errorf("%s/%s/%s fingerprint %#x differs from golden %#x", g.name, p.name, f.name, got, g.fingerprint)
+					}
+				})
+			}
 		}
 	}
 }

@@ -1,0 +1,77 @@
+package core
+
+// drawArena owns every scratch slice the draw pipeline of one sampler
+// stream writes — the per-variable/tweet weight and prefix-sum buffers
+// and the blocked kernels' factored buffers — unifying what used to be
+// five hand-rolled slices spread over sweepCtx. One arena per sweepCtx:
+// the sequential sampler's context owns one, and each parallel worker
+// owns its own, so no two goroutines ever share a buffer inside a color
+// class or tweet shard. All getters grow to capacity and re-slice, so
+// the hot path performs no per-relationship allocations after warm-up.
+//
+// Reference vs fused usage (DESIGN.md §9): the reference path fills
+// weights/pair/rowMass with raw values and hands them to
+// randutil.Categorical (or the hand-rolled hierarchical scan); the
+// fused path writes running prefix sums — into cum for the per-variable
+// and tweet kernels, into pair in place for the exact blocked kernel's
+// joint draw, and into rowCum beside the raw rowMass for the
+// blocked-table kernel's row inversion (the raw masses stay live for
+// the within-row residual).
+type drawArena struct {
+	weights []float64 // raw per-candidate weights (reference path)
+	cum     []float64 // fused prefix sums of the same draws
+	wx, wy  []float64 // blocked kernels' endpoint weights (always raw)
+	pair    []float64 // exact blocked joint weights; fused: prefix sums in place
+	rowMass []float64 // blocked-table raw per-row masses
+	rowCum  []float64 // fused prefix sums over rowMass
+	supJ    []int32   // blocked-table friend-side support indices
+}
+
+// grow returns s re-sliced to length n, reallocating when capacity is
+// short.
+func grow(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// buf returns the raw weight slice for one categorical draw.
+func (a *drawArena) buf(n int) []float64 {
+	a.weights = grow(a.weights, n)
+	return a.weights
+}
+
+// cumBuf returns the prefix-sum slice for one fused draw.
+func (a *drawArena) cumBuf(n int) []float64 {
+	a.cum = grow(a.cum, n)
+	return a.cum
+}
+
+// bufBlocked returns the scratch of the exact blocked edge kernel.
+func (a *drawArena) bufBlocked(nI, nJ int) (wx, wy, pair []float64) {
+	a.wx = grow(a.wx, nI)
+	a.wy = grow(a.wy, nJ)
+	a.pair = grow(a.pair, nI*nJ)
+	return a.wx, a.wy, a.pair
+}
+
+// bufBlockedTable returns the scratch of the pruned blocked-table
+// kernel: endpoint weights, raw per-row masses, and the friend-side
+// support buffer.
+func (a *drawArena) bufBlockedTable(nI, nJ int) (wx, wy, rowMass []float64, supJ []int32) {
+	a.wx = grow(a.wx, nI)
+	a.wy = grow(a.wy, nJ)
+	a.rowMass = grow(a.rowMass, nI)
+	if cap(a.supJ) < nJ {
+		a.supJ = make([]int32, nJ)
+	}
+	return a.wx, a.wy, a.rowMass, a.supJ[:nJ]
+}
+
+// rowCumBuf returns the fused row prefix-sum slice the blocked-table
+// kernel fills beside the raw row masses.
+func (a *drawArena) rowCumBuf(n int) []float64 {
+	a.rowCum = grow(a.rowCum, n)
+	return a.rowCum
+}

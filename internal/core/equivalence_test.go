@@ -151,6 +151,95 @@ func TestDistTableEquivalenceParallel(t *testing.T) {
 	}
 }
 
+// fitFusedPair runs the same fold/seed fit with the fused draw pipeline
+// off and on and returns both models — the FusedDraw analogue of
+// fitEquivPair, with the distance table at its default in both fits.
+func fitFusedPair(t *testing.T, wcfg synth.Config, cfg Config) (scan, fused *Model, c *dataset.Corpus) {
+	t.Helper()
+	d, err := synth.Generate(wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	folds := dataset.KFold(len(d.Corpus.Users), 5, 99)
+	c = d.Corpus.WithUsers(d.Corpus.HideLabels(folds[0]))
+
+	cfg.FusedDraw = FusedDrawOff
+	scan, err = Fit(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.FusedDraw = FusedDrawOn
+	fused, err = Fit(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return scan, fused, c
+}
+
+// TestFusedDrawEquivalence is the FusedDraw leg of the equivalence
+// layer: fused-on vs fused-off fits with the same seed on every world
+// and both edge kernels. The fused pipeline consumes randomness
+// draw-for-draw identically and accumulates in the same order; its only
+// arithmetic deviation is the tweet fills' reciprocal ψ̂ (≤2 ulp per
+// weight), far inside the distance table's quantization tolerance — so
+// the same ≥99% top-1 and α bounds apply, and in practice the chains
+// stay bit-identical (the golden matrix pins that on the golden world).
+func TestFusedDrawEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("equivalence property tests run full fits; skipped in -short")
+	}
+	for _, kernel := range []struct {
+		name    string
+		blocked bool
+	}{{"per-variable", false}, {"blocked", true}} {
+		for _, w := range equivWorlds() {
+			t.Run(fmt.Sprintf("%s/%s", kernel.name, w.name), func(t *testing.T) {
+				cfg := Config{
+					Seed:           7,
+					Iterations:     12,
+					Workers:        1,
+					GibbsEM:        true,
+					EMInterval:     4,
+					EMPairSample:   30000,
+					BlockedSampler: kernel.blocked,
+				}
+				scan, fused, c := fitFusedPair(t, w.cfg, cfg)
+
+				agree := top1Agreement(scan, fused, c)
+				aS, _ := scan.AlphaBeta()
+				aF, _ := fused.AlphaBeta()
+				t.Logf("top-1 agreement %.4f; alpha scan %.4f fused %.4f", agree, aS, aF)
+				if agree < equivAgreementMin {
+					t.Errorf("top-1 agreement %.4f < %.2f — fused chain decoupled from scan chain", agree, equivAgreementMin)
+				}
+				if math.Abs(aS-aF) > equivAlphaTol {
+					t.Errorf("alpha diverged: scan %.4f vs fused %.4f (tol %.2f)", aS, aF, equivAlphaTol)
+				}
+			})
+		}
+	}
+}
+
+// TestFusedDrawEquivalenceSmoke is the -short leg of the FusedDraw
+// equivalence: one small mixed world, per-variable kernel, plus a
+// Workers=4 repeat so the per-worker fused streams are covered.
+func TestFusedDrawEquivalenceSmoke(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		cfg := Config{Seed: 7, Iterations: 8, Workers: workers, GibbsEM: true, EMInterval: 4, EMPairSample: 20000}
+		scan, fused, c := fitFusedPair(t, synth.Config{Seed: 104, NumUsers: 250, NumLocations: 100}, cfg)
+		agree := top1Agreement(scan, fused, c)
+		aS, _ := scan.AlphaBeta()
+		aF, _ := fused.AlphaBeta()
+		t.Logf("workers=%d smoke top-1 agreement %.4f; alpha scan %.4f fused %.4f", workers, agree, aS, aF)
+		if agree < equivAgreementMin {
+			t.Errorf("workers=%d smoke top-1 agreement %.4f < %.2f", workers, agree, equivAgreementMin)
+		}
+		if math.Abs(aS-aF) > equivAlphaTol {
+			t.Errorf("workers=%d smoke alpha diverged: scan %.4f vs fused %.4f", workers, aS, aF)
+		}
+	}
+}
+
 // TestDistTableEquivalenceSmoke is the -short leg: one small mixed world,
 // per-variable kernel, same assertions.
 func TestDistTableEquivalenceSmoke(t *testing.T) {

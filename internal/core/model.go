@@ -27,12 +27,27 @@ type Model struct {
 
 	useF, useT bool
 
+	// fused selects the single-pass prefix-sum draw pipeline in every
+	// update kernel (Config.FusedDraw, DESIGN.md §9); false runs the
+	// reference fill + randutil.Categorical path.
+	fused bool
+
 	// Candidacy and priors.
 	cands *candidateSet
 
 	// Collapsed profile counts ϕ_i (per user, indexed like cands.cand[u]).
 	phi    [][]float64
 	phiSum []float64
+	// pg (non-nil iff fused) mirrors ϕ+γ per candidate — the θ̂ numerator
+	// every weight loop otherwise re-adds per candidate. It is built from
+	// fresh sums after initState's assignments and then shifted ±1 in
+	// lockstep with every ϕ mutation. A ±1 shift of a float can round at
+	// a power-of-two crossing, so pg may drift from the fresh sum by an
+	// ulp-scale random walk — far inside the equivalence tolerance, and
+	// on the golden world it flips no draw (the fingerprint matrix stays
+	// equal across the knob). The exact µ/ν factors (theta) keep using
+	// fresh ϕ+γ.
+	pg [][]float64
 
 	// Collapsed venue counts φ_{l,v}, accumulating location-based tweets
 	// only (ν = 0). Exactly one layout is active, per cfg.PsiStore: the
@@ -47,6 +62,15 @@ type Model struct {
 	// deltaTotal caches ψ̂'s smoothing denominator addend δ|V| (the same
 	// product psiFrom would otherwise recompute per candidate).
 	deltaTotal float64
+	// venueRSum (non-nil iff fused) holds 1/(venueSum[l]+δ|V|), refreshed
+	// on every count mutation: the fused tweet fills multiply by it
+	// instead of dividing per candidate — one division per ±1 shift in
+	// place of ≤MaxCandidates divisions per draw. The product
+	// (cnt+δ)·rsum differs from the reference quotient by ≤2 ulp; on the
+	// golden world no draw flips (the fingerprint matrix stays equal
+	// across the knob) and the general case is equivalence-locked, the
+	// same structure as the distance table's quantization.
+	venueRSum []float64
 
 	// Edge latent state: selector µ_s and candidate indexes of x_s, y_s.
 	mu     []bool
@@ -91,6 +115,7 @@ func Fit(c *dataset.Corpus, cfg Config) (*Model, error) {
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
 		useF:   cfg.Variant != TweetingOnly,
 		useT:   cfg.Variant != FollowingOnly,
+		fused:  cfg.FusedDraw != FusedDrawOff,
 		alpha:  cfg.Alpha,
 		beta:   cfg.Beta,
 	}
@@ -161,6 +186,13 @@ func (m *Model) initState() {
 		m.venueCount = make([]map[gazetteer.VenueID]float64, L)
 	}
 	m.venueSum = make([]float64, L)
+	if m.fused && m.useT {
+		m.venueRSum = make([]float64, L)
+		inv0 := 1 / m.deltaTotal
+		for l := range m.venueRSum {
+			m.venueRSum[l] = inv0
+		}
+	}
 
 	// Random models, learned empirically as in Sec. 4.2.
 	if n > 1 {
@@ -210,6 +242,20 @@ func (m *Model) initState() {
 			m.addVenue(m.cands.cand[t.User][zi], t.Venue)
 		}
 	}
+
+	// The ϕ+γ mirror starts from fresh sums over the initial counts;
+	// the kernels shift it alongside every later ϕ mutation.
+	if m.fused {
+		m.pg = make([][]float64, n)
+		for u := 0; u < n; u++ {
+			phi, gamma := m.phi[u], m.cands.gamma[u]
+			row := make([]float64, len(phi))
+			for c := range row {
+				row[c] = phi[c] + gamma[c]
+			}
+			m.pg[u] = row
+		}
+	}
 }
 
 func (m *Model) addVenue(l gazetteer.CityID, v gazetteer.VenueID) {
@@ -222,6 +268,9 @@ func (m *Model) addVenue(l gazetteer.CityID, v gazetteer.VenueID) {
 		m.venueCount[l][v]++
 	}
 	m.venueSum[l]++
+	if m.venueRSum != nil {
+		m.venueRSum[l] = 1 / (m.venueSum[l] + m.deltaTotal)
+	}
 }
 
 func (m *Model) removeVenue(l gazetteer.CityID, v gazetteer.VenueID) {
@@ -234,6 +283,9 @@ func (m *Model) removeVenue(l gazetteer.CityID, v gazetteer.VenueID) {
 		}
 	}
 	m.venueSum[l]--
+	if m.venueRSum != nil {
+		m.venueRSum[l] = 1 / (m.venueSum[l] + m.deltaTotal)
+	}
 }
 
 // venueCnt returns φ_{l,v} under whichever count layout is active.
@@ -263,14 +315,11 @@ func (m *Model) venueCountsByCity() []map[gazetteer.VenueID]float64 {
 	out := make([]map[gazetteer.VenueID]float64, len(m.venueSum))
 	for v := range m.ps.rows {
 		r := &m.ps.rows[v]
-		for i, k := range r.keys {
-			if k < 0 {
-				continue
+		for i, l := range r.cities {
+			if out[l] == nil {
+				out[l] = make(map[gazetteer.VenueID]float64, 8)
 			}
-			if out[k] == nil {
-				out[k] = make(map[gazetteer.VenueID]float64, 8)
-			}
-			out[k][gazetteer.VenueID(v)] += r.vals[i]
+			out[l][gazetteer.VenueID(v)] += r.vals[i]
 		}
 	}
 	return out

@@ -12,25 +12,19 @@ import (
 )
 
 // sweepCtx carries one sampler stream's mutable state: its RNG and the
-// reusable weight buffers the update kernels write into, so the hot path
-// performs no per-relationship allocations. The sequential sampler owns a
-// single ctx wrapping the model RNG; Workers>1 gives every worker its own
-// ctx with an independent stream-seeded RNG (see DESIGN.md §6).
+// draw arena the update kernels write into, so the hot path performs no
+// per-relationship allocations. The sequential sampler owns a single ctx
+// wrapping the model RNG; Workers>1 gives every worker its own ctx with
+// an independent stream-seeded RNG (see DESIGN.md §6).
 type sweepCtx struct {
 	m   *Model
 	rng *rand.Rand
 
-	// Scratch buffers for the per-variable and blocked edge kernels.
-	weights []float64
-	wx, wy  []float64
-	pair    []float64
-
-	// Scratch of the pruned blocked-table kernel: per-row cumulative
-	// masses and the friend side's non-zero ϕ support. Per-worker like
-	// the rest, so no two workers share mutable state inside a color
-	// class.
-	rowMass []float64
-	supJ    []int32
+	// arena unifies every draw-pipeline scratch slice of this stream —
+	// weight, prefix-sum, and blocked-kernel buffers (drawarena.go).
+	// Per-worker like the RNG, so no two workers share mutable state
+	// inside a color class.
+	arena drawArena
 
 	// Deferred venue-count overlay, non-nil only on parallel workers:
 	// during a parallel tweet phase the model's venue counts are frozen
@@ -66,47 +60,6 @@ type sweepCtx struct {
 // untouched baseline the store is fingerprint-tested against.
 func venueKey(l gazetteer.CityID, v gazetteer.VenueID) uint64 {
 	return uint64(uint32(l))<<32 | uint64(uint32(v))
-}
-
-// buf returns a length-n scratch slice for categorical weights.
-func (c *sweepCtx) buf(n int) []float64 {
-	if cap(c.weights) < n {
-		c.weights = make([]float64, n)
-	}
-	return c.weights[:n]
-}
-
-// bufBlocked returns the three scratch slices of the blocked edge kernel.
-func (c *sweepCtx) bufBlocked(nI, nJ int) (wx, wy, pair []float64) {
-	if cap(c.wx) < nI {
-		c.wx = make([]float64, nI)
-	}
-	if cap(c.wy) < nJ {
-		c.wy = make([]float64, nJ)
-	}
-	if cap(c.pair) < nI*nJ {
-		c.pair = make([]float64, nI*nJ)
-	}
-	return c.wx[:nI], c.wy[:nJ], c.pair[:nI*nJ]
-}
-
-// bufBlockedTable returns the scratch slices of the pruned blocked-table
-// kernel: the endpoint weight vectors, the per-row masses, and the
-// friend-side support index buffer.
-func (c *sweepCtx) bufBlockedTable(nI, nJ int) (wx, wy, rowMass []float64, supJ []int32) {
-	if cap(c.wx) < nI {
-		c.wx = make([]float64, nI)
-	}
-	if cap(c.wy) < nJ {
-		c.wy = make([]float64, nJ)
-	}
-	if cap(c.rowMass) < nI {
-		c.rowMass = make([]float64, nI)
-	}
-	if cap(c.supJ) < nJ {
-		c.supJ = make([]int32, nJ)
-	}
-	return c.wx[:nI], c.wy[:nJ], c.rowMass[:nI], c.supJ[:nJ]
 }
 
 // addVenue counts one venue observation at location l, either directly on
@@ -376,9 +329,9 @@ func (m *Model) foldVenueDeltas() {
 			}
 			for _, v := range ctx.ovlVenues {
 				r := &ctx.ovl.rows[v]
-				for i, k := range r.keys {
-					if k >= 0 && r.vals[i] != 0 {
-						m.ps.add(gazetteer.VenueID(v), gazetteer.CityID(k), r.vals[i])
+				for i, l := range r.cities {
+					if r.vals[i] != 0 {
+						m.ps.add(gazetteer.VenueID(v), gazetteer.CityID(l), r.vals[i])
 					}
 				}
 				r.reset()
@@ -386,6 +339,9 @@ func (m *Model) foldVenueDeltas() {
 			ctx.ovlVenues = ctx.ovlVenues[:0]
 			for _, l := range ctx.ovlCities {
 				m.venueSum[l] += ctx.ovlSum[l]
+				if m.venueRSum != nil {
+					m.venueRSum[l] = 1 / (m.venueSum[l] + m.deltaTotal)
+				}
 				ctx.ovlSum[l] = 0
 			}
 			ctx.ovlCities = ctx.ovlCities[:0]
@@ -415,6 +371,9 @@ func (m *Model) foldVenueDeltas() {
 		for l, d := range ctx.vsum {
 			if d != 0 {
 				m.venueSum[l] += d
+				if m.venueRSum != nil {
+					m.venueRSum[l] = 1 / (m.venueSum[l] + m.deltaTotal)
+				}
 			}
 		}
 		clear(ctx.vdelta)

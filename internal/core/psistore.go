@@ -11,16 +11,26 @@ import (
 // chase into a different map, and the parallel overlay doubles it. The
 // venue-major layout inverts the nesting: all counts of one venue — the
 // quantity a single tweet update actually needs across its ≤MaxCandidates
-// candidate cities — sit together in one compact open-addressed row, so a
-// per-tweet gather (sweepCtx.gatherPsi) resolves every candidate's count
-// in one pass over the row and the per-candidate cost drops to one array
-// load. Counts are gathered, never approximated, and the ψ̂ smoothing
+// candidate cities — sit together in one compact row, so a per-tweet
+// gather (sweepCtx.gatherPsi) resolves every candidate's count in one
+// pass over the row and the per-candidate cost drops to one array load.
+// Counts are gathered, never approximated, and the ψ̂ smoothing
 // (Model.psiFrom) is shared with the map path, so a PsiStoreOn chain is
 // bit-identical to the PsiStoreOff reference — the golden fingerprint
-// matrix asserts equality across every Workers × kernel × DistTable mode.
+// matrix asserts equality across every Workers × kernel × DistTable ×
+// FusedDraw mode.
+//
+// Row layout (reworked for the fused draw pipeline, DESIGN.md §9): the
+// live (city, count) pairs sit densely in two compact parallel arrays,
+// and the open-addressed hash table stores compact indexes instead of
+// keys. Probes pay one extra indirection per step (slot → compact
+// city), but the gather — the hot per-tweet operation — walks exactly
+// the live entries instead of the table's slot capacity, which early in
+// sampling (venues spread over many cities, tables grown wide) is the
+// difference between O(live) and O(4·live) per tweet.
 
-// psiEmptySlot marks a free slot in a row's open-addressed key array.
-// City IDs are non-negative, so -1 can never collide with a live key.
+// psiEmptySlot marks a free slot in a row's open-addressed index table.
+// Compact indexes are non-negative, so -1 can never collide.
 const psiEmptySlot = int32(-1)
 
 // psiRowInitCap is a fresh row's slot count. Venues touch few cities
@@ -37,128 +47,100 @@ func psiHashCity(l int32) uint32 {
 	return h ^ h>>15
 }
 
-// psiRow is one venue's (city, count) set: open-addressed linear probing
-// over parallel key/value arrays, power-of-two sized, max load 3/4,
-// backward-shift deletion (no tombstones, so probe chains never rot).
-// The base store keeps the count invariant "present ⇒ positive" by
-// deleting at zero; overlay rows hold ±1 deltas that may legitimately be
-// negative or transiently zero, so they only accumulate and are bulk
-// reset at the fold barrier (touched tracks membership in the worker's
-// dirty-venue list).
+// psiRow is one venue's (city, count) set: the live pairs packed into
+// cities/vals, indexed by an open-addressed linear-probing slot table
+// (power-of-two sized, max load 3/4, backward-shift deletion — no
+// tombstones, so probe chains never rot). The base store keeps the
+// count invariant "present ⇒ positive" by deleting at zero; overlay
+// rows hold ±1 deltas that may legitimately be negative or transiently
+// zero, so they only accumulate and are bulk reset at the fold barrier
+// (touched tracks membership in the worker's dirty-venue list).
 type psiRow struct {
-	keys    []int32
-	vals    []float64
-	live    int
+	slots   []int32   // open-addressed: compact index into cities/vals, or psiEmptySlot
+	cities  []int32   // live cities, densely packed
+	vals    []float64 // live counts, parallel to cities
 	touched bool
 }
 
-// findOrInsert returns the slot of city l, inserting a zero-count entry
-// if absent. Growth (at 3/4 load) happens only on an actual insertion —
-// updating a present key never widens the row, so the per-tweet churn on
-// existing entries cannot balloon the capacity the gather scans.
-func (r *psiRow) findOrInsert(l int32) int {
-	if len(r.keys) == 0 {
-		r.keys = make([]int32, psiRowInitCap)
-		r.vals = make([]float64, psiRowInitCap)
-		for i := range r.keys {
-			r.keys[i] = psiEmptySlot
-		}
-	}
-	mask := len(r.keys) - 1
+// live returns the number of live (city, count) pairs.
+func (r *psiRow) live() int { return len(r.cities) }
+
+// probe walks city l's chain: the slot where l lives (or where it would
+// be inserted) and l's compact index, -1 if absent.
+func (r *psiRow) probe(l int32) (slot int, ci int32) {
+	mask := len(r.slots) - 1
 	i := int(psiHashCity(l)) & mask
 	for {
-		switch r.keys[i] {
-		case l:
-			return i
-		case psiEmptySlot:
-			if (r.live+1)*4 > len(r.keys)*3 {
-				r.grow()
-				return r.findOrInsert(l) // re-probe in the grown row
-			}
-			r.keys[i] = l
-			r.vals[i] = 0
-			r.live++
-			return i
+		s := r.slots[i]
+		if s == psiEmptySlot {
+			return i, -1
+		}
+		if r.cities[s] == l {
+			return i, s
 		}
 		i = (i + 1) & mask
 	}
 }
 
-// grow doubles the row and rehashes every live entry.
-func (r *psiRow) grow() {
-	r.rehash(len(r.keys) * 2)
-}
-
-// shrink re-sizes the row down to fit the live entries after deletions
-// thinned it out. Rows balloon once at initialization — random initial
-// assignments spread a venue over many cities — and then concentrate as
-// sampling sharpens profiles; without shrinking, the gather would keep
-// scanning the ballooned capacity forever (measured: tweet-weighted mean
-// capacity 131 slots vs ~8 live after three sweeps on the bench world).
-// Shrink triggers at 1/8 load and re-sizes to 2×live (≥8), so the next
-// grow needs live to ~1.5× and the next shrink needs it to halve —
-// enough hysteresis that the per-tweet remove/add churn cannot thrash.
-func (r *psiRow) shrink() {
-	n := psiRowInitCap
-	for n < r.live*2 {
-		n <<= 1
+// findOrInsert returns city l's slot and compact index, appending a
+// zero-count entry if absent, so a caller that may delete-at-zero
+// needs no second probe. Growth (at 3/4 load) happens only on an
+// actual insertion — updating a present key never widens the table, so
+// per-tweet churn on existing entries cannot balloon the row.
+func (r *psiRow) findOrInsert(l int32) (slot int, ci int32) {
+	if len(r.slots) == 0 {
+		r.slots = make([]int32, psiRowInitCap)
+		for i := range r.slots {
+			r.slots[i] = psiEmptySlot
+		}
 	}
-	r.rehash(n)
+	slot, ci = r.probe(l)
+	if ci >= 0 {
+		return slot, ci
+	}
+	if (len(r.cities)+1)*4 > len(r.slots)*3 {
+		r.rehash(len(r.slots) * 2)
+		slot, _ = r.probe(l) // re-probe in the grown table
+	}
+	ci = int32(len(r.cities))
+	r.cities = append(r.cities, l)
+	r.vals = append(r.vals, 0)
+	r.slots[slot] = ci
+	return slot, ci
 }
 
-// rehash moves every live entry into fresh arrays of n slots.
+// rehash rebuilds the slot table at n slots from the compact arrays
+// (which rehashing never moves).
 func (r *psiRow) rehash(n int) {
-	oldKeys, oldVals := r.keys, r.vals
-	r.keys = make([]int32, n)
-	r.vals = make([]float64, n)
-	for i := range r.keys {
-		r.keys[i] = psiEmptySlot
+	r.slots = make([]int32, n)
+	for i := range r.slots {
+		r.slots[i] = psiEmptySlot
 	}
 	mask := n - 1
-	for i, k := range oldKeys {
-		if k == psiEmptySlot {
-			continue
-		}
-		j := int(psiHashCity(k)) & mask
-		for r.keys[j] != psiEmptySlot {
+	for ci, l := range r.cities {
+		j := int(psiHashCity(l)) & mask
+		for r.slots[j] != psiEmptySlot {
 			j = (j + 1) & mask
 		}
-		r.keys[j] = k
-		r.vals[j] = oldVals[i]
+		r.slots[j] = int32(ci)
 	}
 }
 
-// get returns city l's value, zero if absent.
-func (r *psiRow) get(l int32) float64 {
-	if len(r.keys) == 0 {
-		return 0
-	}
-	mask := len(r.keys) - 1
-	i := int(psiHashCity(l)) & mask
-	for {
-		k := r.keys[i]
-		if k == l {
-			return r.vals[i]
-		}
-		if k == psiEmptySlot {
-			return 0
-		}
-		i = (i + 1) & mask
-	}
-}
-
-// delAt frees slot i by the standard linear-probing backward shift:
-// entries after i whose home slot lies cyclically outside (i, j] move
-// back to fill the hole, so lookups never need tombstones.
-func (r *psiRow) delAt(i int) {
-	mask := len(r.keys) - 1
+// delAt removes the entry at slot i / compact index ci: the standard
+// linear-probing backward shift frees the slot (entries after i whose
+// home slot lies cyclically outside (i, j] move back to fill the hole,
+// so lookups never need tombstones), then the compact arrays swap-remove
+// — the last pair moves into the hole and its slot is re-pointed.
+func (r *psiRow) delAt(i int, ci int32) {
+	mask := len(r.slots) - 1
 	j := i
 	for {
 		j = (j + 1) & mask
-		if r.keys[j] == psiEmptySlot {
+		s := r.slots[j]
+		if s == psiEmptySlot {
 			break
 		}
-		h := int(psiHashCity(r.keys[j])) & mask
+		h := int(psiHashCity(r.cities[s])) & mask
 		var inChain bool
 		if i <= j {
 			inChain = i < h && h <= j
@@ -168,24 +150,71 @@ func (r *psiRow) delAt(i int) {
 		if inChain {
 			continue
 		}
-		r.keys[i] = r.keys[j]
-		r.vals[i] = r.vals[j]
+		r.slots[i] = s
 		i = j
 	}
-	r.keys[i] = psiEmptySlot
-	r.live--
-	if r.live*8 <= len(r.keys) && len(r.keys) > psiRowInitCap {
+	r.slots[i] = psiEmptySlot
+
+	last := int32(len(r.cities) - 1)
+	if ci != last {
+		// Move the last pair into the hole and re-point its slot: the
+		// table is consistent again after the shift, and the deleted
+		// entry's slot is gone, so probing the moved city lands exactly
+		// on the one slot still indexing `last`.
+		r.cities[ci] = r.cities[last]
+		r.vals[ci] = r.vals[last]
+		slot, _ := r.probe(r.cities[ci])
+		r.slots[slot] = ci
+	}
+	r.cities = r.cities[:last]
+	r.vals = r.vals[:last]
+	if len(r.cities)*8 <= len(r.slots) && len(r.slots) > psiRowInitCap {
 		r.shrink()
 	}
 }
 
-// reset clears every entry in place, keeping the slot capacity for the
+// shrink re-sizes the slot table down to fit the live entries after
+// deletions thinned it out. Rows balloon once at initialization —
+// random initial assignments spread a venue over many cities — and then
+// concentrate as sampling sharpens profiles; shrink triggers at 1/8
+// load and re-sizes to 2×live (≥8), so the next grow needs live to
+// ~1.5× and the next shrink needs it to halve — enough hysteresis that
+// the per-tweet remove/add churn cannot thrash.
+func (r *psiRow) shrink() {
+	n := psiRowInitCap
+	for n < len(r.cities)*2 {
+		n <<= 1
+	}
+	r.rehash(n)
+}
+
+// get returns city l's value, zero if absent.
+func (r *psiRow) get(l int32) float64 {
+	if len(r.slots) == 0 {
+		return 0
+	}
+	mask := len(r.slots) - 1
+	i := int(psiHashCity(l)) & mask
+	for {
+		s := r.slots[i]
+		if s == psiEmptySlot {
+			return 0
+		}
+		if r.cities[s] == l {
+			return r.vals[s]
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// reset clears every entry in place, keeping the capacities for the
 // next parallel tweet phase (overlay rows only).
 func (r *psiRow) reset() {
-	for i := range r.keys {
-		r.keys[i] = psiEmptySlot
+	for i := range r.slots {
+		r.slots[i] = psiEmptySlot
 	}
-	r.live = 0
+	r.cities = r.cities[:0]
+	r.vals = r.vals[:0]
 	r.touched = false
 }
 
@@ -207,10 +236,10 @@ func newPsiStore(numVenues int) *psiStore {
 // keeps rows minimal).
 func (ps *psiStore) add(v gazetteer.VenueID, l gazetteer.CityID, d float64) {
 	r := &ps.rows[v]
-	i := r.findOrInsert(int32(l))
-	r.vals[i] += d
-	if r.vals[i] <= 0 {
-		r.delAt(i)
+	slot, ci := r.findOrInsert(int32(l))
+	r.vals[ci] += d
+	if r.vals[ci] <= 0 {
+		r.delAt(slot, ci)
 	}
 }
 
@@ -227,24 +256,22 @@ func (ps *psiStore) accumDelta(v gazetteer.VenueID, l gazetteer.CityID, d float6
 	r := &ps.rows[v]
 	firstTouch = !r.touched
 	r.touched = true
-	i := r.findOrInsert(int32(l))
-	r.vals[i] += d
+	_, ci := r.findOrInsert(int32(l))
+	r.vals[ci] += d
 	return firstTouch
 }
 
 // psiGatherWorthwhile reports whether a gather beats per-candidate row
-// probes for venue v: the gather scans the row's full slot capacity once
-// (~1ns/slot — a branch and two stores), the probe path pays a hash,
-// a probe chain, and a call per candidate (~6-8ns; twice that with an
-// overlay). Early in sampling a popular venue's row is wide (random
-// initial assignments spread it over many cities), so the probe path
-// wins; once profiles concentrate and shrink compacts the row, the
-// gather wins. The 6× factor is the measured cost ratio. Both paths
-// resolve the exact same counts, so the choice never affects the chain.
+// probes for venue v: the gather walks the compact live pairs (~1ns per
+// pair — two sequential loads and a store), the probe path pays a hash,
+// a two-load probe chain, and a call per candidate (~6-8ns; twice that
+// with an overlay). The 6× factor is the measured cost ratio. Both
+// paths resolve the exact same counts, so the choice never affects the
+// chain.
 func (c *sweepCtx) psiGatherWorthwhile(v gazetteer.VenueID, nCand int) bool {
-	scan := len(c.m.ps.rows[v].keys)
+	scan := c.m.ps.rows[v].live()
 	if c.ovl != nil {
-		scan += len(c.ovl.rows[v].keys)
+		scan += c.ovl.rows[v].live()
 		nCand *= 2
 	}
 	return scan <= 6*nCand
@@ -261,8 +288,8 @@ type psiGatherCell struct {
 
 // gatherPsi stamps venue v's counts — the base store row plus, on a
 // parallel worker, the overlay row's pending deltas — into the ctx's
-// epoch-stamped scratch. One pass over the (small) row replaces the
-// per-candidate probes of the map path: after the gather,
+// epoch-stamped scratch. One pass over the row's compact live pairs
+// replaces the per-candidate probes of the map path: after the gather,
 // gatheredPsi(l) is an array read per candidate. The epoch stamp makes
 // clearing free; stamps are uint64, so wraparound is unreachable.
 func (c *sweepCtx) gatherPsi(v gazetteer.VenueID) {
@@ -272,20 +299,18 @@ func (c *sweepCtx) gatherPsi(v gazetteer.VenueID) {
 	}
 	c.gepoch++
 	row := &m.ps.rows[v]
-	for i, k := range row.keys {
-		if k >= 0 {
-			c.gcells[k] = psiGatherCell{cnt: row.vals[i], stamp: c.gepoch}
-		}
+	vals := row.vals[:len(row.cities)]
+	for i, l := range row.cities {
+		c.gcells[l] = psiGatherCell{cnt: vals[i], stamp: c.gepoch}
 	}
 	if c.ovl != nil {
 		orow := &c.ovl.rows[v]
-		for i, k := range orow.keys {
-			if k >= 0 {
-				if c.gcells[k].stamp == c.gepoch {
-					c.gcells[k].cnt += orow.vals[i]
-				} else {
-					c.gcells[k] = psiGatherCell{cnt: orow.vals[i], stamp: c.gepoch}
-				}
+		ovals := orow.vals[:len(orow.cities)]
+		for i, l := range orow.cities {
+			if c.gcells[l].stamp == c.gepoch {
+				c.gcells[l].cnt += ovals[i]
+			} else {
+				c.gcells[l] = psiGatherCell{cnt: ovals[i], stamp: c.gepoch}
 			}
 		}
 	}

@@ -28,14 +28,14 @@ func TestPsiRowDeleteAtZero(t *testing.T) {
 	if got := ps.get(v, 7); got != 0 {
 		t.Fatalf("count(7) = %v after delete-at-zero, want 0", got)
 	}
-	if live := ps.rows[v].live; live != 1 {
+	if live := ps.rows[v].live(); live != 1 {
 		t.Fatalf("row live = %d after delete-at-zero, want 1", live)
 	}
 	if got := ps.get(v, 9); got != 1 {
 		t.Fatalf("count(9) = %v disturbed by neighbor deletion, want 1", got)
 	}
 	// Other venues' rows stay untouched (and unallocated).
-	if ps.rows[0].keys != nil || ps.rows[2].keys != nil {
+	if ps.rows[0].slots != nil || ps.rows[2].slots != nil {
 		t.Error("untouched venue rows were allocated")
 	}
 }
@@ -68,8 +68,8 @@ func TestPsiRowStressVsMap(t *testing.T) {
 					t.Fatalf("op %d: count(%d) = %v, want %v", op, c, got, want)
 				}
 			}
-			if ps.rows[0].live != len(ref) {
-				t.Fatalf("op %d: live = %d, want %d", op, ps.rows[0].live, len(ref))
+			if ps.rows[0].live() != len(ref) {
+				t.Fatalf("op %d: live = %d, want %d", op, ps.rows[0].live(), len(ref))
 			}
 		}
 	}
@@ -130,7 +130,7 @@ func TestPsiOverlayNegativeDeltasFold(t *testing.T) {
 	if got := m.ps.get(v1, 3); got != 0 {
 		t.Fatalf("folded count = %v, want 0", got)
 	}
-	if live := m.ps.rows[v1].live; live != 0 {
+	if live := m.ps.rows[v1].live(); live != 0 {
 		t.Fatalf("zero-count entry survived the fold (live=%d)", live)
 	}
 	if got := m.ps.get(v2, 1); got != 3 {
@@ -149,7 +149,7 @@ func TestPsiOverlayNegativeDeltasFold(t *testing.T) {
 		}
 	}
 	for v := range ctx.ovl.rows {
-		if ctx.ovl.rows[v].live != 0 || ctx.ovl.rows[v].touched {
+		if ctx.ovl.rows[v].live() != 0 || ctx.ovl.rows[v].touched {
 			t.Fatalf("overlay row %d not reset", v)
 		}
 	}

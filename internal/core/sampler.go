@@ -54,6 +54,10 @@ func (m *Model) updateEdge(ctx *sweepCtx, s int) {
 	gammaJ := m.cands.gamma[e.To]
 	phiI := m.phi[e.From]
 	phiJ := m.phi[e.To]
+	var pgI, pgJ []float64
+	if m.fused {
+		pgI, pgJ = m.pg[e.From], m.pg[e.To]
+	}
 	counted := !m.mu[s]
 
 	// --- x_s (follower side, Eq. 7) ---
@@ -61,11 +65,12 @@ func (m *Model) updateEdge(ctx *sweepCtx, s int) {
 	if counted {
 		phiI[xi]--
 		m.phiSum[e.From]--
+		if pgI != nil {
+			pgI[xi]--
+		}
 	}
 	yLoc := candJ[m.ey[s]]
-	weights := ctx.buf(len(candI))
-	m.edgeWeights(weights, candI, phiI, gammaI, yLoc, counted)
-	xi = randutil.Categorical(ctx.rng, weights)
+	xi = m.drawEdgeSide(ctx, candI, phiI, gammaI, pgI, yLoc, counted)
 	if xi < 0 {
 		xi = int(m.ex[s])
 	}
@@ -73,6 +78,9 @@ func (m *Model) updateEdge(ctx *sweepCtx, s int) {
 	if counted {
 		phiI[xi]++
 		m.phiSum[e.From]++
+		if pgI != nil {
+			pgI[xi]++
+		}
 	}
 
 	// --- y_s (friend side, Eq. 8) ---
@@ -80,11 +88,12 @@ func (m *Model) updateEdge(ctx *sweepCtx, s int) {
 	if counted {
 		phiJ[yi]--
 		m.phiSum[e.To]--
+		if pgJ != nil {
+			pgJ[yi]--
+		}
 	}
 	xLoc := candI[xi]
-	weights = ctx.buf(len(candJ))
-	m.edgeWeights(weights, candJ, phiJ, gammaJ, xLoc, counted)
-	yi = randutil.Categorical(ctx.rng, weights)
+	yi = m.drawEdgeSide(ctx, candJ, phiJ, gammaJ, pgJ, xLoc, counted)
 	if yi < 0 {
 		yi = int(m.ey[s])
 	}
@@ -92,6 +101,9 @@ func (m *Model) updateEdge(ctx *sweepCtx, s int) {
 	if counted {
 		phiJ[yi]++
 		m.phiSum[e.To]++
+		if pgJ != nil {
+			pgJ[yi]++
+		}
 	}
 
 	// --- µ_s (Eq. 5) ---
@@ -119,13 +131,41 @@ func (m *Model) updateEdge(ctx *sweepCtx, s int) {
 		phiJ[yi]--
 		m.phiSum[e.From]--
 		m.phiSum[e.To]--
+		if pgI != nil {
+			pgI[xi]--
+			pgJ[yi]--
+		}
 	} else {
 		// 1 → 0: the assignments start counting.
 		phiI[xi]++
 		phiJ[yi]++
 		m.phiSum[e.From]++
 		m.phiSum[e.To]++
+		if pgI != nil {
+			pgI[xi]++
+			pgJ[yi]++
+		}
 	}
+}
+
+// drawEdgeSide fills one side's per-variable conditional (Eq. 7/8) and
+// draws the new candidate index, or -1 when the mass is zero (the
+// caller keeps the old assignment). On the fused path the fill loop
+// reads the maintained ϕ+γ mirror, emits running prefix sums, and one
+// uniform is inverted over them (randutil.InvertCum); on the reference
+// path raw weights go through randutil.Categorical. Both accumulate the
+// per-candidate expressions in index order and consume one uniform iff
+// the total is positive, which keeps the two chains coupled draw for
+// draw.
+func (m *Model) drawEdgeSide(ctx *sweepCtx, cand []gazetteer.CityID, phi, gamma, pg []float64, opp gazetteer.CityID, counted bool) int {
+	if m.fused {
+		cum := ctx.arena.cumBuf(len(cand))
+		m.edgeCum(cum, cand, pg, opp, counted)
+		return randutil.InvertCum(ctx.rng, cum)
+	}
+	weights := ctx.arena.buf(len(cand))
+	m.edgeWeights(weights, cand, phi, gamma, opp, counted)
+	return randutil.Categorical(ctx.rng, weights)
 }
 
 // edgeWeights fills one side's per-variable conditional: the profile
@@ -162,6 +202,46 @@ func (m *Model) edgeWeights(weights []float64, cand []gazetteer.CityID, phi, gam
 	}
 }
 
+// edgeCum is the fused twin of edgeWeights: the same three loop
+// variants, but reading the maintained ϕ+γ mirror (one load where the
+// reference re-adds two) and accumulating a running total, storing the
+// prefix instead of the raw weight — folding Categorical's summation
+// pass into the fill. The weights are non-negative, so adding them
+// unconditionally matches Categorical's positives-only sum (x+0 is x).
+func (m *Model) edgeCum(cum []float64, cand []gazetteer.CityID, pg []float64, opp gazetteer.CityID, counted bool) {
+	// Pin the parallel slices to the candidate length so the loops run
+	// bounds-check-free (pg/cum are allocated per candidate set).
+	pg = pg[:len(cand)]
+	cum = cum[:len(cand)]
+	var total float64
+	if !counted {
+		for c := range cand {
+			total += pg[c]
+			cum[c] = total
+		}
+		return
+	}
+	if dt := m.dt; dt != nil {
+		if row := dt.row(opp); row != nil {
+			pt := dt.powTab
+			for c, l := range cand {
+				total += pg[c] * pt[row[l]]
+				cum[c] = total
+			}
+		} else {
+			for c, l := range cand {
+				total += pg[c] * dt.pow(l, opp)
+				cum[c] = total
+			}
+		}
+		return
+	}
+	for c := range cand {
+		total += pg[c] * m.dc.powDist(cand[c], opp, m.alpha)
+		cum[c] = total
+	}
+}
+
 // updateEdgeBlocked jointly resamples (µ_s, x_s, y_s) from their exact
 // joint conditional — the blocked-sampler ablation. The model is
 // unchanged; only the inference move differs. With the distance table on
@@ -185,10 +265,14 @@ func (m *Model) updateEdgeBlocked(ctx *sweepCtx, s int) {
 		phiJ[m.ey[s]]--
 		m.phiSum[e.From]--
 		m.phiSum[e.To]--
+		if m.pg != nil {
+			m.pg[e.From][m.ex[s]]--
+			m.pg[e.To][m.ey[s]]--
+		}
 	}
 
 	nI, nJ := len(candI), len(candJ)
-	wx, wy, pair := ctx.bufBlocked(nI, nJ)
+	wx, wy, pair := ctx.arena.bufBlocked(nI, nJ)
 	for c := range candI {
 		wx[c] = phiI[c] + gammaI[c]
 	}
@@ -205,12 +289,25 @@ func (m *Model) updateEdgeBlocked(ctx *sweepCtx, s int) {
 	if m.curIter <= m.cfg.NoiseBurnIn {
 		w1 = 0
 	}
+	// The fused path stores the running prefix sums in pair[] instead of
+	// the raw products; the additions are the same terms in the same
+	// row-major order, so pairSum — and the w0 Bernoulli below — is
+	// bit-identical across the knob.
 	var pairSum float64
-	for i := 0; i < nI; i++ {
-		for j := 0; j < nJ; j++ {
-			w := wx[i] * wy[j] * m.dc.powDist(candI[i], candJ[j], m.alpha)
-			pair[i*nJ+j] = w
-			pairSum += w
+	if m.fused {
+		for i := 0; i < nI; i++ {
+			for j := 0; j < nJ; j++ {
+				pairSum += wx[i] * wy[j] * m.dc.powDist(candI[i], candJ[j], m.alpha)
+				pair[i*nJ+j] = pairSum
+			}
+		}
+	} else {
+		for i := 0; i < nI; i++ {
+			for j := 0; j < nJ; j++ {
+				w := wx[i] * wy[j] * m.dc.powDist(candI[i], candJ[j], m.alpha)
+				pair[i*nJ+j] = w
+				pairSum += w
+			}
 		}
 	}
 	w0 := (1 - m.cfg.RhoF) * m.beta * pairSum / (denI * denJ)
@@ -219,8 +316,7 @@ func (m *Model) updateEdgeBlocked(ctx *sweepCtx, s int) {
 		// Noise: keep phantom assignments drawn from the profiles alone;
 		// they do not count.
 		m.mu[s] = true
-		xi := randutil.Categorical(ctx.rng, wx)
-		yi := randutil.Categorical(ctx.rng, wy)
+		xi, yi := m.drawBlockedNoise(ctx, wx, wy)
 		if xi < 0 {
 			xi = int(m.ex[s])
 		}
@@ -231,7 +327,12 @@ func (m *Model) updateEdgeBlocked(ctx *sweepCtx, s int) {
 		return
 	}
 	m.mu[s] = false
-	p := randutil.Categorical(ctx.rng, pair)
+	var p int
+	if m.fused {
+		p = randutil.InvertCum(ctx.rng, pair)
+	} else {
+		p = randutil.Categorical(ctx.rng, pair)
+	}
 	if p < 0 {
 		p = int(m.ex[s])*nJ + int(m.ey[s])
 	}
@@ -240,6 +341,28 @@ func (m *Model) updateEdgeBlocked(ctx *sweepCtx, s int) {
 	phiJ[m.ey[s]]++
 	m.phiSum[e.From]++
 	m.phiSum[e.To]++
+	if m.pg != nil {
+		m.pg[e.From][m.ex[s]]++
+		m.pg[e.To][m.ey[s]]++
+	}
+}
+
+// drawBlockedNoise draws both endpoints' phantom assignments on the
+// blocked kernels' noise branch. The raw wx/wy weights stay live (the
+// joint pass consumed them as factors), so the fused path runs
+// randutil.FusedCategorical — one prefix pass plus a search per side,
+// sharing the arena's prefix buffer — instead of Categorical's
+// sum-and-scan. Draw semantics and RNG consumption are identical.
+func (m *Model) drawBlockedNoise(ctx *sweepCtx, wx, wy []float64) (xi, yi int) {
+	if m.fused {
+		cum := ctx.arena.cumBuf(max(len(wx), len(wy)))
+		xi = randutil.FusedCategorical(ctx.rng, wx, cum)
+		yi = randutil.FusedCategorical(ctx.rng, wy, cum)
+		return xi, yi
+	}
+	xi = randutil.Categorical(ctx.rng, wx)
+	yi = randutil.Categorical(ctx.rng, wy)
+	return xi, yi
 }
 
 // updateEdgeBlockedTable is the pruned factored form of the blocked
@@ -278,11 +401,15 @@ func (m *Model) updateEdgeBlockedTable(ctx *sweepCtx, s int) {
 		phiJ[m.ey[s]]--
 		m.phiSum[e.From]--
 		m.phiSum[e.To]--
+		if m.pg != nil {
+			m.pg[e.From][m.ex[s]]--
+			m.pg[e.To][m.ey[s]]--
+		}
 	}
 
 	nI, nJ := len(candI), len(candJ)
 	ec := m.edgeCacheFor(s, candI, candJ, gammaJ)
-	wx, wy, rowMass, supJ := ctx.bufBlockedTable(nI, nJ)
+	wx, wy, rowMass, supJ := ctx.arena.bufBlockedTable(nI, nJ)
 	for c := range candI {
 		wx[c] = phiI[c] + gammaI[c]
 	}
@@ -298,20 +425,44 @@ func (m *Model) updateEdgeBlockedTable(ctx *sweepCtx, s int) {
 
 	pt := m.dt.powTab
 	var pairSum float64
-	for i := 0; i < nI; i++ {
-		si := ec.gRow[i]
-		if row := m.dt.row(candI[i]); row != nil {
-			for _, j := range sup {
-				si += phiJ[j] * pt[row[candJ[j]]]
+	var rowCum []float64
+	if m.fused {
+		// Fused: beside each raw row mass (still needed for the
+		// within-row residual below), store the running pairSum — the
+		// row prefix the inversion binary-searches instead of scanning.
+		rowCum = ctx.arena.rowCumBuf(nI)
+		for i := 0; i < nI; i++ {
+			si := ec.gRow[i]
+			if row := m.dt.row(candI[i]); row != nil {
+				for _, j := range sup {
+					si += phiJ[j] * pt[row[candJ[j]]]
+				}
+			} else {
+				for _, j := range sup {
+					si += phiJ[j] * m.dt.pow(candI[i], candJ[j])
+				}
 			}
-		} else {
-			for _, j := range sup {
-				si += phiJ[j] * m.dt.pow(candI[i], candJ[j])
-			}
+			rm := wx[i] * si
+			rowMass[i] = rm
+			pairSum += rm
+			rowCum[i] = pairSum
 		}
-		rm := wx[i] * si
-		rowMass[i] = rm
-		pairSum += rm
+	} else {
+		for i := 0; i < nI; i++ {
+			si := ec.gRow[i]
+			if row := m.dt.row(candI[i]); row != nil {
+				for _, j := range sup {
+					si += phiJ[j] * pt[row[candJ[j]]]
+				}
+			} else {
+				for _, j := range sup {
+					si += phiJ[j] * m.dt.pow(candI[i], candJ[j])
+				}
+			}
+			rm := wx[i] * si
+			rowMass[i] = rm
+			pairSum += rm
+		}
 	}
 	denI := m.phiSum[e.From] + m.cands.gammaSum[e.From]
 	denJ := m.phiSum[e.To] + m.cands.gammaSum[e.To]
@@ -324,8 +475,7 @@ func (m *Model) updateEdgeBlockedTable(ctx *sweepCtx, s int) {
 
 	if randutil.Bernoulli(ctx.rng, w1/(w0+w1)) {
 		m.mu[s] = true
-		xi := randutil.Categorical(ctx.rng, wx)
-		yi := randutil.Categorical(ctx.rng, wy)
+		xi, yi := m.drawBlockedNoise(ctx, wx, wy)
 		if xi < 0 {
 			xi = int(m.ex[s])
 		}
@@ -340,22 +490,35 @@ func (m *Model) updateEdgeBlockedTable(ctx *sweepCtx, s int) {
 		// Row-major hierarchical inversion of one uniform: rows by their
 		// cumulative masses, then columns within the chosen row. Slack
 		// from float rounding falls to the last row/column, mirroring
-		// randutil.Categorical's fallback.
+		// randutil.Categorical's fallback. The fused path picks the row
+		// with randutil.SearchCum over the stored prefix sums; the
+		// reference path scans, accumulating the identical prefixes, so
+		// both select the same row and leave the same residual.
 		u := ctx.rng.Float64() * pairSum
 		xi := nI - 1
-		var acc float64
-		for i := 0; i < nI; i++ {
-			acc += rowMass[i]
-			if u < acc {
+		if m.fused {
+			if i := randutil.SearchCum(rowCum, u); i >= 0 {
 				xi = i
-				break
 			}
+			u -= rowCum[xi] - rowMass[xi] // residual uniform within row xi
+		} else {
+			var acc float64
+			for i := 0; i < nI; i++ {
+				acc += rowMass[i]
+				if u < acc {
+					xi = i
+					break
+				}
+			}
+			u -= acc - rowMass[xi] // residual uniform within row xi
 		}
-		u -= acc - rowMass[xi] // residual uniform within row xi
 		yi := nJ - 1
 		wxi := wx[xi]
 		row := m.dt.row(candI[xi])
-		acc = 0
+		// The within-row column pass is already fused in both modes: one
+		// loop computing each product, accumulating, and early-exiting
+		// at the inversion point.
+		acc := 0.0
 		for j := 0; j < nJ; j++ {
 			var d float64
 			if row != nil {
@@ -375,6 +538,10 @@ func (m *Model) updateEdgeBlockedTable(ctx *sweepCtx, s int) {
 	phiJ[m.ey[s]]++
 	m.phiSum[e.From]++
 	m.phiSum[e.To]++
+	if m.pg != nil {
+		m.pg[e.From][m.ex[s]]++
+		m.pg[e.To][m.ey[s]]++
+	}
 }
 
 // updateTweet resamples z_k (Eq. 9) and ν_k (Eq. 6) for one tweeting
@@ -391,6 +558,10 @@ func (m *Model) updateTweet(ctx *sweepCtx, k int) {
 	cand := m.cands.cand[t.User]
 	gamma := m.cands.gamma[t.User]
 	phi := m.phi[t.User]
+	var pg []float64
+	if m.fused {
+		pg = m.pg[t.User]
+	}
 	counted := !m.nu[k]
 
 	// --- z_k (Eq. 9) ---
@@ -398,17 +569,50 @@ func (m *Model) updateTweet(ctx *sweepCtx, k int) {
 	if counted {
 		phi[zi]--
 		m.phiSum[t.User]--
+		if pg != nil {
+			pg[zi]--
+		}
 		ctx.removeVenue(cand[zi], t.Venue)
 	}
-	weights := ctx.buf(len(cand))
-	for c := range cand {
-		w := phi[c] + gamma[c]
-		if counted {
-			w *= ctx.psi(cand[c], t.Venue)
+	if m.fused {
+		// Fused: the fill loop accumulates the prefix as it resolves
+		// each candidate's ψ̂ — reading the maintained ϕ+γ mirror and,
+		// when sequential, the maintained reciprocal — and one uniform
+		// inverts it. The counted branch is hoisted out of the loop.
+		cum := ctx.arena.cumBuf(len(cand))
+		var total float64
+		if counted && ctx.ovl == nil && ctx.vdelta == nil {
+			// Sequential: the current assignment is already excluded by
+			// the surrounding remove/add churn, so ψ̂ is the plain
+			// smoothed count.
+			rs, delta := m.venueRSum, m.cfg.Delta
+			for c, l := range cand {
+				total += pg[c] * ((m.venueCnt(l, t.Venue) + delta) * rs[l])
+				cum[c] = total
+			}
+		} else if counted {
+			for c := range cand {
+				total += pg[c] * ctx.psi(cand[c], t.Venue)
+				cum[c] = total
+			}
+		} else {
+			for c := range cand {
+				total += pg[c]
+				cum[c] = total
+			}
 		}
-		weights[c] = w
+		zi = randutil.InvertCum(ctx.rng, cum)
+	} else {
+		weights := ctx.arena.buf(len(cand))
+		for c := range cand {
+			w := phi[c] + gamma[c]
+			if counted {
+				w *= ctx.psi(cand[c], t.Venue)
+			}
+			weights[c] = w
+		}
+		zi = randutil.Categorical(ctx.rng, weights)
 	}
-	zi = randutil.Categorical(ctx.rng, weights)
 	if zi < 0 {
 		zi = int(m.tz[k])
 	}
@@ -416,6 +620,9 @@ func (m *Model) updateTweet(ctx *sweepCtx, k int) {
 	if counted {
 		phi[zi]++
 		m.phiSum[t.User]++
+		if pg != nil {
+			pg[zi]++
+		}
 		ctx.addVenue(cand[zi], t.Venue)
 	}
 
@@ -447,6 +654,13 @@ func (m *Model) updateTweet(ctx *sweepCtx, k int) {
 		m.phiSum[t.User]++
 		ctx.addVenue(z, t.Venue)
 	}
+	if pg != nil {
+		if noisy {
+			pg[zi]--
+		} else {
+			pg[zi]++
+		}
+	}
 }
 
 // updateTweetStore is the venue-major form of the tweet kernel, active
@@ -470,6 +684,10 @@ func (m *Model) updateTweetStore(ctx *sweepCtx, k int) {
 	cand := m.cands.cand[t.User]
 	gamma := m.cands.gamma[t.User]
 	phi := m.phi[t.User]
+	var pg []float64
+	if m.fused {
+		pg = m.pg[t.User]
+	}
 	counted := !m.nu[k]
 
 	// --- z_k (Eq. 9) ---
@@ -478,15 +696,107 @@ func (m *Model) updateTweetStore(ctx *sweepCtx, k int) {
 	if counted {
 		phi[zi]--
 		m.phiSum[t.User]--
+		if pg != nil {
+			pg[zi]--
+		}
 	}
-	weights := ctx.buf(len(cand))
+	var next int
+	gathered := false
+	if m.fused {
+		cum := ctx.arena.cumBuf(len(cand))
+		gathered = m.tweetStoreCum(ctx, cum, t.Venue, cand, pg, counted, exCity)
+		next = randutil.InvertCum(ctx.rng, cum)
+	} else {
+		weights := ctx.arena.buf(len(cand))
+		m.tweetStoreWeights(ctx, weights, t.Venue, cand, gamma, phi, counted, exCity)
+		next = randutil.Categorical(ctx.rng, weights)
+	}
+	if next < 0 {
+		next = zi
+	}
+	m.tz[k] = uint16(next)
+	if counted {
+		phi[next]++
+		m.phiSum[t.User]++
+		if pg != nil {
+			pg[next]++
+		}
+		if cand[next] != exCity {
+			ctx.removeVenue(exCity, t.Venue)
+			ctx.addVenue(cand[next], t.Venue)
+		}
+	}
+	zi = next
+
+	// --- ν_k (Eq. 6) ---
+	if m.cfg.RhoT <= 0 || m.curIter <= m.cfg.NoiseBurnIn {
+		return
+	}
+	z := cand[zi]
+	var psiZ float64
+	switch {
+	case counted && gathered && ctx.ovl == nil:
+		// The fused fill's gather is still current for this venue, so
+		// z's count comes from the epoch-stamped scratch instead of a
+		// fresh row probe. The gather predates the post-draw store
+		// write, so a moved assignment adds its own observation back
+		// before the self-exclusion; the resulting cnt/sum pair — and
+		// hence the division — is bit-identical to psiExcl's.
+		var cnt float64
+		if cell := &ctx.gcells[z]; cell.stamp == ctx.gepoch {
+			cnt = cell.cnt
+		}
+		if z != exCity {
+			cnt++
+		}
+		psiZ = m.psiFrom(cnt-1, m.venueSum[z]-1)
+	case counted:
+		psiZ = ctx.psiExcl(z, t.Venue, z) // exclude self
+	default:
+		psiZ = ctx.psi(z, t.Venue)
+	}
+	thetaZ := m.theta(t.User, zi, counted)
+	p1 := m.cfg.RhoT * m.tr[t.Venue]
+	p0 := (1 - m.cfg.RhoT) * thetaZ * psiZ
+	noisy := randutil.Bernoulli(ctx.rng, p1/(p0+p1))
+	if noisy == m.nu[k] {
+		return
+	}
+	m.nu[k] = noisy
+	if noisy {
+		phi[zi]--
+		m.phiSum[t.User]--
+		ctx.removeVenue(z, t.Venue)
+	} else {
+		phi[zi]++
+		m.phiSum[t.User]++
+		ctx.addVenue(z, t.Venue)
+	}
+	if pg != nil {
+		if noisy {
+			pg[zi]--
+		} else {
+			pg[zi]++
+		}
+	}
+}
+
+// tweetStoreWeights fills the tweet-store kernel's per-candidate
+// conditional into weights — the reference path's raw-weight form,
+// unchanged from before the fused pipeline. The branches select the
+// cheapest exact way to resolve each candidate's ψ̂: a one-pass row
+// gather versus direct row probes (psiGatherWorthwhile), each split by
+// overlay presence so the inner loops carry no per-candidate calls.
+// The Eq. 6/9 exclusion of the current assignment is applied
+// arithmetically (cnt−1/sum−1) to the one city it affects.
+func (m *Model) tweetStoreWeights(ctx *sweepCtx, weights []float64, v gazetteer.VenueID, cand []gazetteer.CityID, gamma, phi []float64, counted bool, exCity gazetteer.CityID) {
 	switch {
 	case !counted:
 		for c := range cand {
 			weights[c] = phi[c] + gamma[c]
 		}
-	case ctx.psiGatherWorthwhile(t.Venue, len(cand)):
-		ctx.gatherPsi(t.Venue)
+	case ctx.psiGatherWorthwhile(v, len(cand)):
+		ctx.gatherPsi(v)
 		if ctx.ovl == nil {
 			gcells, ep := ctx.gcells, ctx.gepoch
 			for c, l := range cand {
@@ -510,7 +820,7 @@ func (m *Model) updateTweetStore(ctx *sweepCtx, k int) {
 		// Probe path, split by overlay presence so the row probes inline
 		// into the loop (ctx.psiExcl's body, without the per-candidate
 		// call).
-		base := &m.ps.rows[t.Venue]
+		base := &m.ps.rows[v]
 		if ctx.ovl == nil {
 			for c, l := range cand {
 				cnt := base.get(int32(l))
@@ -522,7 +832,7 @@ func (m *Model) updateTweetStore(ctx *sweepCtx, k int) {
 				weights[c] = (phi[c] + gamma[c]) * m.psiFrom(cnt, sum)
 			}
 		} else {
-			orow := &ctx.ovl.rows[t.Venue]
+			orow := &ctx.ovl.rows[v]
 			for c, l := range cand {
 				cnt := base.get(int32(l)) + orow.get(int32(l))
 				sum := m.venueSum[l] + ctx.ovlSum[l]
@@ -534,49 +844,85 @@ func (m *Model) updateTweetStore(ctx *sweepCtx, k int) {
 			}
 		}
 	}
-	next := randutil.Categorical(ctx.rng, weights)
-	if next < 0 {
-		next = zi
-	}
-	m.tz[k] = uint16(next)
-	if counted {
-		phi[next]++
-		m.phiSum[t.User]++
-		if cand[next] != exCity {
-			ctx.removeVenue(exCity, t.Venue)
-			ctx.addVenue(cand[next], t.Venue)
+}
+
+// tweetStoreCum is the fused twin of tweetStoreWeights: the same branch
+// structure and the same per-candidate expressions folded into a single
+// pass that accumulates the running prefix into cum, with the
+// overlay-free branches' per-candidate psiFrom division hoisted into
+// the maintained reciprocal (Model.venueRSum). The weights are
+// non-negative, so the unconditional additions match Categorical's
+// positives-only summation bit for bit. It reports whether the fill
+// gathered the venue's row, so the caller's ν-step can reuse the
+// still-current scratch instead of re-probing.
+func (m *Model) tweetStoreCum(ctx *sweepCtx, cum []float64, v gazetteer.VenueID, cand []gazetteer.CityID, pg []float64, counted bool, exCity gazetteer.CityID) (gathered bool) {
+	pg = pg[:len(cand)]
+	cum = cum[:len(cand)]
+	var total float64
+	switch {
+	case !counted:
+		for c := range cand {
+			total += pg[c]
+			cum[c] = total
+		}
+	case ctx.psiGatherWorthwhile(v, len(cand)):
+		gathered = true
+		ctx.gatherPsi(v)
+		if ctx.ovl == nil {
+			gcells, ep := ctx.gcells, ctx.gepoch
+			rs, delta := m.venueRSum, m.cfg.Delta
+			for c, l := range cand {
+				var cnt float64
+				if cell := &gcells[l]; cell.stamp == ep {
+					cnt = cell.cnt
+				}
+				var p float64
+				if l != exCity {
+					// Hoisted ψ̂: (cnt+δ)·rsum[l] — the maintained
+					// reciprocal in place of the per-candidate division.
+					p = (cnt + delta) * rs[l]
+				} else {
+					p = m.psiFrom(cnt-1, m.venueSum[l]-1)
+				}
+				total += pg[c] * p
+				cum[c] = total
+			}
+		} else {
+			for c, l := range cand {
+				total += pg[c] * ctx.gatheredPsiExcl(l, exCity)
+				cum[c] = total
+			}
+		}
+	default:
+		base := &m.ps.rows[v]
+		if ctx.ovl == nil {
+			rs, delta := m.venueRSum, m.cfg.Delta
+			for c, l := range cand {
+				cnt := base.get(int32(l))
+				var p float64
+				if l != exCity {
+					p = (cnt + delta) * rs[l]
+				} else {
+					p = m.psiFrom(cnt-1, m.venueSum[l]-1)
+				}
+				total += pg[c] * p
+				cum[c] = total
+			}
+		} else {
+			orow := &ctx.ovl.rows[v]
+			for c, l := range cand {
+				cnt := base.get(int32(l)) + orow.get(int32(l))
+				sum := m.venueSum[l] + ctx.ovlSum[l]
+				if l == exCity {
+					cnt--
+					sum--
+				}
+				total += pg[c] * m.psiFrom(cnt, sum)
+				cum[c] = total
+			}
 		}
 	}
-	zi = next
-
-	// --- ν_k (Eq. 6) ---
-	if m.cfg.RhoT <= 0 || m.curIter <= m.cfg.NoiseBurnIn {
-		return
-	}
-	z := cand[zi]
-	var psiZ float64
-	if counted {
-		psiZ = ctx.psiExcl(z, t.Venue, z) // exclude self
-	} else {
-		psiZ = ctx.psi(z, t.Venue)
-	}
-	thetaZ := m.theta(t.User, zi, counted)
-	p1 := m.cfg.RhoT * m.tr[t.Venue]
-	p0 := (1 - m.cfg.RhoT) * thetaZ * psiZ
-	noisy := randutil.Bernoulli(ctx.rng, p1/(p0+p1))
-	if noisy == m.nu[k] {
-		return
-	}
-	m.nu[k] = noisy
-	if noisy {
-		phi[zi]--
-		m.phiSum[t.User]--
-		ctx.removeVenue(z, t.Venue)
-	} else {
-		phi[zi]++
-		m.phiSum[t.User]++
-		ctx.addVenue(z, t.Venue)
-	}
+	return gathered
 }
 
 // Histogram binning shared by the initial data fit and the EM refits.

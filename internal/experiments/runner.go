@@ -53,6 +53,9 @@ type Options struct {
 	// PsiStore selects the collapsed venue-count layout (default
 	// venue-major; core.PsiStoreOff runs the city-major map reference).
 	PsiStore core.PsiStoreMode
+	// FusedDraw selects the categorical draw pipeline (default fused;
+	// core.FusedDrawOff runs the reference fill + Categorical path).
+	FusedDraw core.FusedDrawMode
 }
 
 func (o Options) withDefaults() Options {
@@ -240,6 +243,7 @@ func (r *Runner) runFold(f int, test []dataset.UserID) (*foldResult, error) {
 			GibbsEM:    !r.opts.DisableGibbsEM,
 			DistTable:  r.opts.DistTable,
 			PsiStore:   r.opts.PsiStore,
+			FusedDraw:  r.opts.FusedDraw,
 		}
 		if name == MethodMLP && f == 0 {
 			// Fig. 5: trace test accuracy across sweeps.
@@ -312,6 +316,7 @@ func (r *Runner) ensureFull() error {
 		GibbsEM:    !r.opts.DisableGibbsEM,
 		DistTable:  r.opts.DistTable,
 		PsiStore:   r.opts.PsiStore,
+		FusedDraw:  r.opts.FusedDraw,
 	})
 	if err != nil {
 		return err

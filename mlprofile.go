@@ -129,6 +129,20 @@ const (
 	PsiStoreOff  = core.PsiStoreOff
 )
 
+// FusedDrawMode selects the update kernels' categorical draw pipeline
+// (ModelConfig.FusedDraw).
+type FusedDrawMode = core.FusedDrawMode
+
+// Draw pipelines: the fused single-pass prefix-sum draw (the default)
+// vs the reference weight fill + Categorical. The two consume
+// randomness draw-for-draw identically and are equivalence-tested
+// against each other (see DESIGN.md §9).
+const (
+	FusedDrawAuto = core.FusedDrawAuto
+	FusedDrawOn   = core.FusedDrawOn
+	FusedDrawOff  = core.FusedDrawOff
+)
+
 // Fit runs MLP inference over a corpus.
 func Fit(c *Corpus, cfg ModelConfig) (*Model, error) { return core.Fit(c, cfg) }
 
