@@ -38,6 +38,7 @@ func main() {
 		dtable  = flag.Bool("disttable", true, "serve d^alpha from the quantized distance table (false = exact per-pair evaluation)")
 		pstore  = flag.Bool("psistore", true, "store collapsed venue counts venue-major (false = city-major maps, the reference layout)")
 		fdraw   = flag.Bool("fuseddraw", true, "draw with the fused prefix-sum pipeline (false = reference fill + Categorical path)")
+		snap    = flag.String("snapshot", "", "also write a fitted-model snapshot here for mlpserve")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -80,6 +81,13 @@ func main() {
 	en, tn := m.NoiseStats()
 	fmt.Printf("fitted %s in %d iterations: alpha=%.3f beta=%.5f noise(edges)=%.3f noise(tweets)=%.3f\n",
 		v, m.Iterations(), alpha, beta, en, tn)
+
+	if *snap != "" {
+		if err := m.SaveSnapshot(*snap); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote snapshot %s\n", *snap)
+	}
 
 	f, err := os.Create(*out)
 	if err != nil {

@@ -194,19 +194,7 @@ func (m *Model) initState() {
 		}
 	}
 
-	// Random models, learned empirically as in Sec. 4.2.
-	if n > 1 {
-		m.fr = float64(len(c.Edges)) / (float64(n) * float64(n-1))
-	}
-	m.tr = make([]float64, m.numVenues)
-	if len(c.Tweets) > 0 {
-		for _, t := range c.Tweets {
-			m.tr[t.Venue]++
-		}
-		for v := range m.tr {
-			m.tr[v] /= float64(len(c.Tweets))
-		}
-	}
+	m.initRandomModels()
 
 	// Initial relationship state. Invariant: every relationship starts in
 	// the location-based component (µ = ν = 0 — the zero value of the
@@ -254,6 +242,26 @@ func (m *Model) initState() {
 				row[c] = phi[c] + gamma[c]
 			}
 			m.pg[u] = row
+		}
+	}
+}
+
+// initRandomModels learns the empirical random models F_R and T_R from the
+// corpus (Sec. 4.2). Deterministic in the corpus alone, so the snapshot
+// loader rebuilds them instead of serializing them.
+func (m *Model) initRandomModels() {
+	c := m.corpus
+	n := len(c.Users)
+	if n > 1 {
+		m.fr = float64(len(c.Edges)) / (float64(n) * float64(n-1))
+	}
+	m.tr = make([]float64, m.numVenues)
+	if len(c.Tweets) > 0 {
+		for _, t := range c.Tweets {
+			m.tr[t.Venue]++
+		}
+		for v := range m.tr {
+			m.tr[v] /= float64(len(c.Tweets))
 		}
 	}
 }

@@ -1,0 +1,665 @@
+package core
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"mlprofile/internal/dataset"
+	"mlprofile/internal/gazetteer"
+)
+
+// This file implements the fitted-model snapshot (DESIGN.md §10): a
+// versioned binary encoding of everything a fitted Model carries beyond
+// what is deterministically rebuildable from the corpus — the collapsed
+// profile counts ϕ, the collapsed venue counts φ_{l,v}, the refined
+// (α, β), the final latent assignments (µ, x, y, ν, z), and the defaulted
+// Config — plus a fingerprint of the world it was fitted against, so a
+// snapshot refuses to load over a mismatched gazetteer/vocabulary/corpus.
+//
+// Everything else (candidacy vectors, priors γ, the random models F_R/T_R,
+// the distance table, trigonometry) is rebuilt from the corpus on load via
+// the same deterministic code paths Fit uses, so a loaded model answers
+// every read — Profile/TopK, VenueProbability, MAPExplainEdge,
+// ExplainEdge/ExplainTweet, NoiseStats — bit-for-bit identically to the
+// in-process model that wrote the snapshot (snapshot_test.go locks this
+// across the determinism matrix).
+//
+// Loaded models are read-only: no sweep state (RNG streams, scratch
+// arenas, fused mirrors) is reconstructed, and none of the read paths
+// touch it. Continuing inference from a snapshot is out of scope.
+
+// snapshotMagic opens every snapshot file. The trailing newline makes an
+// accidental text-mode corruption detectable.
+var snapshotMagic = [8]byte{'M', 'L', 'P', 'S', 'N', 'A', 'P', '\n'}
+
+// SnapshotVersion is the current encoding version. Decoders reject
+// versions they do not know.
+const SnapshotVersion uint32 = 1
+
+// worldSection names one fingerprinted slice of the world, in encoding
+// order. Separate section hashes let the mismatch error say *what*
+// differs (a swapped gazetteer vs. an edited edge list).
+type worldSection int
+
+const (
+	sectionGazetteer worldSection = iota
+	sectionVenues
+	sectionUsers
+	sectionEdges
+	sectionTweets
+	numWorldSections
+)
+
+func (s worldSection) String() string {
+	switch s {
+	case sectionGazetteer:
+		return "gazetteer"
+	case sectionVenues:
+		return "venue vocabulary"
+	case sectionUsers:
+		return "user labels"
+	case sectionEdges:
+		return "following relationships"
+	default:
+		return "tweeting relationships"
+	}
+}
+
+// worldFingerprint hashes each model-relevant section of the corpus:
+// gazetteer geometry, venue vocabulary, user home labels, and both
+// relationship sets. Handles and raw registered strings are deliberately
+// excluded — they never enter inference, so renaming a user must not
+// invalidate a snapshot.
+func worldFingerprint(c *dataset.Corpus) [numWorldSections][sha256.Size]byte {
+	var out [numWorldSections][sha256.Size]byte
+	var b [8]byte
+	u64 := func(h io.Writer, v uint64) {
+		binary.LittleEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	str := func(h io.Writer, s string) {
+		u64(h, uint64(len(s)))
+		io.WriteString(h, s)
+	}
+
+	h := sha256.New()
+	for _, city := range c.Gaz.Cities() {
+		str(h, city.Name)
+		str(h, city.State)
+		u64(h, math.Float64bits(city.Point.Lat))
+		u64(h, math.Float64bits(city.Point.Lon))
+		u64(h, uint64(city.Population))
+	}
+	h.Sum(out[sectionGazetteer][:0])
+
+	h = sha256.New()
+	for v := 0; v < c.Venues.Len(); v++ {
+		venue := c.Venues.Venue(gazetteer.VenueID(v))
+		str(h, venue.Name)
+		u64(h, uint64(len(venue.Locations)))
+		for _, l := range venue.Locations {
+			u64(h, uint64(l))
+		}
+	}
+	h.Sum(out[sectionVenues][:0])
+
+	h = sha256.New()
+	for _, u := range c.Users {
+		u64(h, uint64(int64(u.Home)))
+	}
+	h.Sum(out[sectionUsers][:0])
+
+	h = sha256.New()
+	for _, e := range c.Edges {
+		u64(h, uint64(e.From))
+		u64(h, uint64(e.To))
+	}
+	h.Sum(out[sectionEdges][:0])
+
+	h = sha256.New()
+	for _, t := range c.Tweets {
+		u64(h, uint64(t.User))
+		u64(h, uint64(t.Venue))
+	}
+	h.Sum(out[sectionTweets][:0])
+	return out
+}
+
+// snapWriter accumulates the little-endian payload.
+type snapWriter struct {
+	buf bytes.Buffer
+	b   [8]byte
+}
+
+func (w *snapWriter) u32(v uint32) {
+	binary.LittleEndian.PutUint32(w.b[:4], v)
+	w.buf.Write(w.b[:4])
+}
+
+func (w *snapWriter) i64(v int64) {
+	binary.LittleEndian.PutUint64(w.b[:], uint64(v))
+	w.buf.Write(w.b[:])
+}
+
+func (w *snapWriter) f64(v float64) {
+	binary.LittleEndian.PutUint64(w.b[:], math.Float64bits(v))
+	w.buf.Write(w.b[:])
+}
+
+func (w *snapWriter) bool(v bool) {
+	if v {
+		w.buf.WriteByte(1)
+	} else {
+		w.buf.WriteByte(0)
+	}
+}
+
+// bitset packs a bool slice 8-per-byte: with corpora of millions of
+// relationships the selector vectors dominate a naive byte-per-bool
+// encoding.
+func (w *snapWriter) bitset(v []bool) {
+	w.u32(uint32(len(v)))
+	var acc byte
+	for i, b := range v {
+		if b {
+			acc |= 1 << (i & 7)
+		}
+		if i&7 == 7 {
+			w.buf.WriteByte(acc)
+			acc = 0
+		}
+	}
+	if len(v)&7 != 0 {
+		w.buf.WriteByte(acc)
+	}
+}
+
+func (w *snapWriter) u16s(v []uint16) {
+	w.u32(uint32(len(v)))
+	for _, x := range v {
+		binary.LittleEndian.PutUint16(w.b[:2], x)
+		w.buf.Write(w.b[:2])
+	}
+}
+
+func (w *snapWriter) f64s(v []float64) {
+	w.u32(uint32(len(v)))
+	for _, x := range v {
+		w.f64(x)
+	}
+}
+
+// snapReader decodes the payload, turning every overrun into an error
+// instead of a panic.
+type snapReader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *snapReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.data) {
+		r.err = fmt.Errorf("core: snapshot truncated at byte %d", r.off)
+		return nil
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *snapReader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// length reads a u32 length field and bounds-checks it against the
+// remaining payload (each element needs at least elemSize bytes), so a
+// corrupt length cannot drive a huge allocation.
+func (r *snapReader) length(elemSize int) int {
+	n := int(r.u32())
+	if r.err == nil && elemSize > 0 && n > (len(r.data)-r.off)/elemSize+1 {
+		r.err = fmt.Errorf("core: snapshot length %d exceeds remaining payload", n)
+		return 0
+	}
+	return n
+}
+
+func (r *snapReader) i64() int64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return int64(binary.LittleEndian.Uint64(b))
+}
+
+func (r *snapReader) f64() float64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}
+
+func (r *snapReader) bool() bool {
+	b := r.take(1)
+	return b != nil && b[0] != 0
+}
+
+func (r *snapReader) bitset() []bool {
+	n := r.length(0)
+	raw := r.take((n + 7) / 8)
+	if raw == nil {
+		return nil
+	}
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = raw[i>>3]&(1<<(i&7)) != 0
+	}
+	return out
+}
+
+func (r *snapReader) u16s() []uint16 {
+	n := r.length(2)
+	raw := r.take(2 * n)
+	if raw == nil {
+		return nil
+	}
+	out := make([]uint16, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint16(raw[2*i:])
+	}
+	return out
+}
+
+func (r *snapReader) f64s() []float64 {
+	n := r.length(8)
+	raw := r.take(8 * n)
+	if raw == nil {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
+	return out
+}
+
+// encodeConfig writes the defaulted Config field by field in fixed order.
+// OnIteration (a callback) is the one field that cannot travel; a loaded
+// model never sweeps, so nothing consults it.
+func encodeConfig(w *snapWriter, c Config) {
+	w.i64(c.Seed)
+	w.i64(int64(c.Variant))
+	w.i64(int64(c.Iterations))
+	w.i64(int64(c.Workers))
+	w.f64(c.RhoF)
+	w.f64(c.RhoT)
+	w.i64(int64(c.NoiseBurnIn))
+	w.f64(c.Alpha)
+	w.f64(c.Beta)
+	w.f64(c.Tau)
+	w.f64(c.GammaBoost)
+	w.f64(c.Delta)
+	w.i64(int64(c.MaxCandidates))
+	w.i64(int64(c.MaxVenueSenses))
+	w.bool(c.GibbsEM)
+	w.i64(int64(c.EMInterval))
+	w.i64(int64(c.EMPairSample))
+	w.bool(c.BlockedSampler)
+	w.i64(int64(c.DistTable))
+	w.i64(int64(c.PsiStore))
+	w.i64(int64(c.FusedDraw))
+	w.bool(c.DisableNoiseMixture)
+	w.bool(c.DisableSupervision)
+	w.bool(c.AllLocationCandidates)
+}
+
+func decodeConfig(r *snapReader) Config {
+	var c Config
+	c.Seed = r.i64()
+	c.Variant = Variant(r.i64())
+	c.Iterations = int(r.i64())
+	c.Workers = int(r.i64())
+	c.RhoF = r.f64()
+	c.RhoT = r.f64()
+	c.NoiseBurnIn = int(r.i64())
+	c.Alpha = r.f64()
+	c.Beta = r.f64()
+	c.Tau = r.f64()
+	c.GammaBoost = r.f64()
+	c.Delta = r.f64()
+	c.MaxCandidates = int(r.i64())
+	c.MaxVenueSenses = int(r.i64())
+	c.GibbsEM = r.bool()
+	c.EMInterval = int(r.i64())
+	c.EMPairSample = int(r.i64())
+	c.BlockedSampler = r.bool()
+	c.DistTable = DistTableMode(r.i64())
+	c.PsiStore = PsiStoreMode(r.i64())
+	c.FusedDraw = FusedDrawMode(r.i64())
+	c.DisableNoiseMixture = r.bool()
+	c.DisableSupervision = r.bool()
+	c.AllLocationCandidates = r.bool()
+	return c
+}
+
+// EncodeSnapshot writes the model's snapshot to w. The encoding is
+// deterministic: the same fitted model always produces the same bytes
+// (venue-count triples are emitted in sorted order, independent of the
+// active count layout's internal iteration order).
+func (m *Model) EncodeSnapshot(wr io.Writer) error {
+	w := &snapWriter{}
+	w.buf.Write(snapshotMagic[:])
+	w.u32(SnapshotVersion)
+	w.u32(0) // reserved flags
+
+	fp := worldFingerprint(m.corpus)
+	for _, h := range fp {
+		w.buf.Write(h[:])
+	}
+
+	encodeConfig(w, m.cfg)
+
+	w.f64(m.alpha)
+	w.f64(m.beta)
+	w.i64(int64(m.iterationsRun))
+
+	// Collapsed profile counts ϕ, one row per user in corpus order.
+	w.u32(uint32(len(m.phi)))
+	for _, row := range m.phi {
+		w.f64s(row)
+	}
+	w.f64s(m.phiSum)
+
+	// Edge latent state (present iff the variant consumes edges).
+	w.bool(m.useF)
+	if m.useF {
+		w.bitset(m.mu)
+		w.u16s(m.ex)
+		w.u16s(m.ey)
+	}
+	// Tweet latent state.
+	w.bool(m.useT)
+	if m.useT {
+		w.bitset(m.nu)
+		w.u16s(m.tz)
+	}
+
+	// Collapsed venue counts as sorted (venue, city, count) triples —
+	// layout-independent, so a snapshot written under either PsiStore
+	// mode loads into either.
+	type triple struct {
+		v   int32
+		l   int32
+		cnt float64
+	}
+	var triples []triple
+	for l, counts := range m.venueCountsByCity() {
+		for v, cnt := range counts {
+			triples = append(triples, triple{int32(v), int32(l), cnt})
+		}
+	}
+	sort.Slice(triples, func(i, j int) bool {
+		if triples[i].v != triples[j].v {
+			return triples[i].v < triples[j].v
+		}
+		return triples[i].l < triples[j].l
+	})
+	w.u32(uint32(len(triples)))
+	for _, t := range triples {
+		w.u32(uint32(t.v))
+		w.u32(uint32(t.l))
+		w.f64(t.cnt)
+	}
+
+	// Trailer: checksum of everything above, so a truncated or corrupted
+	// file fails loudly instead of loading garbage counts.
+	sum := sha256.Sum256(w.buf.Bytes())
+	w.buf.Write(sum[:])
+	_, err := wr.Write(w.buf.Bytes())
+	return err
+}
+
+// SaveSnapshot writes the snapshot atomically: to a temp file in the
+// destination directory, fsynced and close-checked, then renamed over
+// path. A crash or full disk never leaves a half-written snapshot at
+// path.
+func (m *Model) SaveSnapshot(path string) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".mlp-snapshot-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := m.EncodeSnapshot(f); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// DecodeSnapshot reads a snapshot and reconstructs the fitted model
+// against the given corpus — the same world the snapshot was fitted on,
+// verified by fingerprint before anything is rebuilt. The returned model
+// is read-only: every readout is bit-for-bit identical to the model that
+// wrote the snapshot, but it cannot resume sampling.
+func DecodeSnapshot(c *dataset.Corpus, rd io.Reader) (*Model, error) {
+	data, err := io.ReadAll(rd)
+	if err != nil {
+		return nil, err
+	}
+	minLen := len(snapshotMagic) + 8 + int(numWorldSections)*sha256.Size + sha256.Size
+	if len(data) < minLen {
+		return nil, fmt.Errorf("core: snapshot too short (%d bytes) — truncated or not a snapshot", len(data))
+	}
+	if !bytes.Equal(data[:len(snapshotMagic)], snapshotMagic[:]) {
+		return nil, fmt.Errorf("core: not a model snapshot (bad magic)")
+	}
+	payload, trailer := data[:len(data)-sha256.Size], data[len(data)-sha256.Size:]
+	if sum := sha256.Sum256(payload); !bytes.Equal(sum[:], trailer) {
+		return nil, fmt.Errorf("core: snapshot checksum mismatch — file truncated or corrupted")
+	}
+
+	r := &snapReader{data: payload, off: len(snapshotMagic)}
+	version := r.u32()
+	if version != SnapshotVersion {
+		return nil, fmt.Errorf("core: snapshot version %d not supported (want %d)", version, SnapshotVersion)
+	}
+	r.u32() // reserved flags
+
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	want := worldFingerprint(c)
+	for s := worldSection(0); s < numWorldSections; s++ {
+		var got [sha256.Size]byte
+		copy(got[:], r.take(sha256.Size))
+		if r.err == nil && got != want[s] {
+			return nil, fmt.Errorf("core: snapshot was fitted against a different world: %s fingerprint mismatch", s)
+		}
+	}
+
+	cfg := decodeConfig(r)
+	if r.err != nil {
+		return nil, r.err
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, fmt.Errorf("core: snapshot config invalid: %w", err)
+	}
+
+	m := &Model{
+		cfg:    cfg,
+		corpus: c,
+		dc:     newDistCalc(c.Gaz),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		useF:   cfg.Variant != TweetingOnly,
+		useT:   cfg.Variant != FollowingOnly,
+	}
+	m.alpha = r.f64()
+	m.beta = r.f64()
+	m.iterationsRun = int(r.i64())
+	m.curIter = m.iterationsRun
+
+	// The distance table serves MAPExplainEdge's d^α exactly as the
+	// fitted model's last α-epoch did: same table, same final exponent.
+	if m.useF && cfg.DistTable != DistTableOff {
+		m.dt = distTableFor(m.dc, c.Gaz)
+		m.dt.setAlpha(m.alpha)
+	}
+
+	// Candidacy vectors and priors are deterministic in (corpus, config);
+	// rebuilding reproduces the exact γ the counts were accumulated under.
+	m.cands = buildCandidates(c, cfg, m.useF, m.useT)
+
+	n := len(c.Users)
+	if got := int(r.u32()); r.err == nil && got != n {
+		return nil, fmt.Errorf("core: snapshot has %d profile rows for %d users", got, n)
+	}
+	m.phi = make([][]float64, n)
+	for u := 0; u < n; u++ {
+		row := r.f64s()
+		if r.err != nil {
+			return nil, r.err
+		}
+		if len(row) != len(m.cands.cand[u]) {
+			return nil, fmt.Errorf("core: snapshot profile row %d has %d counts for %d candidates", u, len(row), len(m.cands.cand[u]))
+		}
+		m.phi[u] = row
+	}
+	m.phiSum = r.f64s()
+	if r.err == nil && len(m.phiSum) != n {
+		return nil, fmt.Errorf("core: snapshot has %d profile sums for %d users", len(m.phiSum), n)
+	}
+
+	if hasEdges := r.bool(); r.err == nil && hasEdges != m.useF {
+		return nil, fmt.Errorf("core: snapshot edge state disagrees with variant %v", cfg.Variant)
+	}
+	if m.useF {
+		m.mu = r.bitset()
+		m.ex = r.u16s()
+		m.ey = r.u16s()
+		S := len(c.Edges)
+		if r.err == nil && (len(m.mu) != S || len(m.ex) != S || len(m.ey) != S) {
+			return nil, fmt.Errorf("core: snapshot edge state sized %d/%d/%d for %d edges", len(m.mu), len(m.ex), len(m.ey), S)
+		}
+		for s, e := range c.Edges {
+			if r.err != nil {
+				break
+			}
+			if int(m.ex[s]) >= len(m.cands.cand[e.From]) || int(m.ey[s]) >= len(m.cands.cand[e.To]) {
+				return nil, fmt.Errorf("core: snapshot edge %d assignment out of candidate range", s)
+			}
+		}
+	}
+	if hasTweets := r.bool(); r.err == nil && hasTweets != m.useT {
+		return nil, fmt.Errorf("core: snapshot tweet state disagrees with variant %v", cfg.Variant)
+	}
+	if m.useT {
+		m.nu = r.bitset()
+		m.tz = r.u16s()
+		K := len(c.Tweets)
+		if r.err == nil && (len(m.nu) != K || len(m.tz) != K) {
+			return nil, fmt.Errorf("core: snapshot tweet state sized %d/%d for %d tweets", len(m.nu), len(m.tz), K)
+		}
+		for k, t := range c.Tweets {
+			if r.err != nil {
+				break
+			}
+			if int(m.tz[k]) >= len(m.cands.cand[t.User]) {
+				return nil, fmt.Errorf("core: snapshot tweet %d assignment out of candidate range", k)
+			}
+		}
+	}
+
+	// Collapsed venue counts, rebuilt into whichever layout the config
+	// selects. venueSum is the per-city total of integer-valued counts,
+	// so summing reproduces the fitted model's incrementally maintained
+	// value exactly.
+	m.numVenues = c.Venues.Len()
+	m.deltaTotal = m.cfg.Delta * float64(m.numVenues)
+	L := c.Gaz.Len()
+	if m.cfg.PsiStore == PsiStoreOn {
+		m.ps = newPsiStore(m.numVenues)
+	} else {
+		m.venueCount = make([]map[gazetteer.VenueID]float64, L)
+	}
+	m.venueSum = make([]float64, L)
+	nTriples := r.length(16)
+	for i := 0; i < nTriples; i++ {
+		v := int(r.u32())
+		l := int(r.u32())
+		cnt := r.f64()
+		if r.err != nil {
+			return nil, r.err
+		}
+		if v >= m.numVenues || l >= L {
+			return nil, fmt.Errorf("core: snapshot venue count (%d, %d) out of range", v, l)
+		}
+		if cnt <= 0 || cnt != math.Trunc(cnt) {
+			return nil, fmt.Errorf("core: snapshot venue count (%d, %d) = %v is not a positive integer", v, l, cnt)
+		}
+		if m.ps != nil {
+			m.ps.add(gazetteer.VenueID(v), gazetteer.CityID(l), cnt)
+		} else {
+			if m.venueCount[l] == nil {
+				m.venueCount[l] = make(map[gazetteer.VenueID]float64, 8)
+			}
+			m.venueCount[l][gazetteer.VenueID(v)] += cnt
+		}
+		m.venueSum[l] += cnt
+	}
+
+	m.initRandomModels()
+
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(payload) {
+		return nil, fmt.Errorf("core: snapshot has %d trailing bytes", len(payload)-r.off)
+	}
+	return m, nil
+}
+
+// LoadSnapshot reads a snapshot file written by SaveSnapshot and
+// reconstructs the fitted model against the given corpus.
+func LoadSnapshot(c *dataset.Corpus, path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m, err := DecodeSnapshot(c, f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}

@@ -79,14 +79,19 @@ func (d *Dataset) Save(dir string) error {
 	}
 
 	if d.Truth != nil {
+		// Close errors matter here: on a full disk the encoder's buffered
+		// bytes can be lost at close, leaving a truncated truth.json that
+		// Load later rejects. Mirror writeLines' close-checking.
 		f, err := os.Create(filepath.Join(dir, truthFile))
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		enc := json.NewEncoder(f)
-		if err := enc.Encode(d.Truth); err != nil {
+		if err := json.NewEncoder(f).Encode(d.Truth); err != nil {
+			f.Close()
 			return fmt.Errorf("dataset: encoding truth: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("dataset: writing truth: %w", err)
 		}
 	}
 	return nil

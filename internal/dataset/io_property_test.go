@@ -1,0 +1,222 @@
+package dataset
+
+import (
+	"math/rand"
+	"os"
+	"testing"
+
+	"mlprofile/internal/gazetteer"
+	"mlprofile/internal/geo"
+)
+
+// hostileGazetteer builds a gazetteer whose city names collide across
+// states — the venue vocabulary then carries ambiguous names whose tweet
+// references must survive a name-keyed round trip.
+func hostileGazetteer(t *testing.T) *gazetteer.Gazetteer {
+	t.Helper()
+	gaz, err := gazetteer.New([]gazetteer.City{
+		{Name: "springfield", State: "IL", Point: geo.Point{Lat: 39.78, Lon: -89.65}, Population: 111454},
+		{Name: "springfield", State: "MA", Point: geo.Point{Lat: 42.10, Lon: -72.59}, Population: 152082},
+		{Name: "springfield", State: "MO", Point: geo.Point{Lat: 37.21, Lon: -93.29}, Population: 151580},
+		{Name: "portland", State: "OR", Point: geo.Point{Lat: 45.52, Lon: -122.68}, Population: 529121},
+		{Name: "portland", State: "ME", Point: geo.Point{Lat: 43.66, Lon: -70.26}, Population: 64249},
+		{Name: "austin", State: "TX", Point: geo.Point{Lat: 30.27, Lon: -97.74}, Population: 656562},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gaz
+}
+
+// hostileHandles are the framing-hostile strings sanitize must defuse:
+// TSV separators, newlines, carriage returns, and mixes thereof.
+var hostileHandles = []string{
+	"plain",
+	"tab\tinside",
+	"new\nline",
+	"cr\rreturn",
+	"\t\n\r",
+	"trailing\t",
+	"\tleading",
+	"multi\t\tline\n\nmix\r\n",
+	"",
+}
+
+// hostileRegistered includes the empty string (the common case: most
+// real users have no parseable registered location) and unparseable junk.
+var hostileRegistered = []string{
+	"",
+	"Springfield, IL",
+	"everywhere and nowhere",
+	"tab\tseparated",
+	"line\nbroken",
+	" ",
+}
+
+// TestSaveLoadHostileRoundTrip is the property test over hostile inputs:
+// random corpora drawn from a gazetteer with cross-state duplicate city
+// names, users with empty Registered strings and framing-hostile handles,
+// and name-ambiguous tweets must Save→Load to an equal dataset — equal
+// modulo sanitize, which is idempotent, so a second round trip must be
+// exact.
+func TestSaveLoadHostileRoundTrip(t *testing.T) {
+	gaz := hostileGazetteer(t)
+	vv := gazetteer.BuildVenueVocab(gaz)
+	rng := rand.New(rand.NewSource(99))
+	L := gazetteer.CityID(gaz.Len())
+
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(6)
+		d := &Dataset{Corpus: Corpus{Gaz: gaz, Venues: vv}}
+		for u := 0; u < n; u++ {
+			home := NoCity
+			if rng.Intn(2) == 0 {
+				home = gazetteer.CityID(rng.Intn(int(L)))
+			}
+			d.Corpus.Users = append(d.Corpus.Users, User{
+				ID:         UserID(u),
+				Handle:     hostileHandles[rng.Intn(len(hostileHandles))],
+				Registered: hostileRegistered[rng.Intn(len(hostileRegistered))],
+				Home:       home,
+			})
+		}
+		for e := 0; e < rng.Intn(8); e++ {
+			from := UserID(rng.Intn(n))
+			to := UserID(rng.Intn(n))
+			if from == to {
+				continue
+			}
+			d.Corpus.Edges = append(d.Corpus.Edges, FollowEdge{From: from, To: to})
+		}
+		for k := 0; k < rng.Intn(10); k++ {
+			d.Corpus.Tweets = append(d.Corpus.Tweets, TweetRel{
+				User:  UserID(rng.Intn(n)),
+				Venue: gazetteer.VenueID(rng.Intn(vv.Len())),
+			})
+		}
+
+		dir := t.TempDir()
+		if err := d.Save(dir); err != nil {
+			t.Fatalf("trial %d: save: %v", trial, err)
+		}
+		got, err := Load(dir)
+		if err != nil {
+			t.Fatalf("trial %d: load: %v", trial, err)
+		}
+
+		if got.Corpus.Gaz.Len() != gaz.Len() {
+			t.Fatalf("trial %d: gazetteer size %d != %d", trial, got.Corpus.Gaz.Len(), gaz.Len())
+		}
+		if len(got.Corpus.Users) != n {
+			t.Fatalf("trial %d: %d users, want %d", trial, len(got.Corpus.Users), n)
+		}
+		for u, orig := range d.Corpus.Users {
+			back := got.Corpus.Users[u]
+			if back.Home != orig.Home {
+				t.Errorf("trial %d user %d: home %d != %d", trial, u, back.Home, orig.Home)
+			}
+			if want := sanitize(orig.Handle); back.Handle != want {
+				t.Errorf("trial %d user %d: handle %q != sanitized %q", trial, u, back.Handle, want)
+			}
+			if want := sanitize(orig.Registered); back.Registered != want {
+				t.Errorf("trial %d user %d: registered %q != sanitized %q", trial, u, back.Registered, want)
+			}
+		}
+		if len(got.Corpus.Edges) != len(d.Corpus.Edges) {
+			t.Fatalf("trial %d: %d edges, want %d", trial, len(got.Corpus.Edges), len(d.Corpus.Edges))
+		}
+		for i := range d.Corpus.Edges {
+			if got.Corpus.Edges[i] != d.Corpus.Edges[i] {
+				t.Errorf("trial %d: edge %d %v != %v", trial, i, got.Corpus.Edges[i], d.Corpus.Edges[i])
+			}
+		}
+		// Venue IDs are name-keyed on disk; with cross-state duplicate
+		// names the rebuilt vocabulary must resolve every tweet to the
+		// same venue ID (BuildVenueVocab is deterministic per gazetteer).
+		if len(got.Corpus.Tweets) != len(d.Corpus.Tweets) {
+			t.Fatalf("trial %d: %d tweets, want %d", trial, len(got.Corpus.Tweets), len(d.Corpus.Tweets))
+		}
+		for i := range d.Corpus.Tweets {
+			if got.Corpus.Tweets[i] != d.Corpus.Tweets[i] {
+				t.Errorf("trial %d: tweet %d %v != %v", trial, i, got.Corpus.Tweets[i], d.Corpus.Tweets[i])
+			}
+		}
+
+		// Second round trip: sanitize is idempotent, so this one must be
+		// byte-exact in every field.
+		dir2 := t.TempDir()
+		if err := got.Save(dir2); err != nil {
+			t.Fatalf("trial %d: re-save: %v", trial, err)
+		}
+		again, err := Load(dir2)
+		if err != nil {
+			t.Fatalf("trial %d: re-load: %v", trial, err)
+		}
+		for u := range got.Corpus.Users {
+			if again.Corpus.Users[u] != got.Corpus.Users[u] {
+				t.Errorf("trial %d: user %d not fixed under second round trip: %+v != %+v",
+					trial, u, again.Corpus.Users[u], got.Corpus.Users[u])
+			}
+		}
+	}
+}
+
+// TestSaveLoadAmbiguousVenueSenses pins the cross-state ambiguity
+// explicitly: the "springfield" venue must keep all three senses,
+// most-populous first, through a round trip.
+func TestSaveLoadAmbiguousVenueSenses(t *testing.T) {
+	gaz := hostileGazetteer(t)
+	vv := gazetteer.BuildVenueVocab(gaz)
+	id, ok := vv.ID("springfield")
+	if !ok {
+		t.Fatal("no springfield venue")
+	}
+	d := &Dataset{Corpus: Corpus{
+		Gaz:    gaz,
+		Venues: vv,
+		Users:  []User{{ID: 0, Handle: "homer", Registered: "", Home: NoCity}},
+		Tweets: []TweetRel{{User: 0, Venue: id}},
+	}}
+	dir := t.TempDir()
+	if err := d.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := got.Corpus.Venues.Venue(got.Corpus.Tweets[0].Venue)
+	if back.Name != "springfield" || len(back.Locations) != 3 {
+		t.Fatalf("springfield senses lost: %+v", back)
+	}
+	for i := 1; i < len(back.Locations); i++ {
+		a := got.Corpus.Gaz.City(back.Locations[i-1])
+		b := got.Corpus.Gaz.City(back.Locations[i])
+		if a.Population < b.Population {
+			t.Errorf("senses not population-sorted: %s(%d) before %s(%d)",
+				a.Key(), a.Population, b.Key(), b.Population)
+		}
+	}
+}
+
+// TestSaveReportsWriteFailure: Save against an unwritable directory must
+// surface an error, not silently drop tables.
+func TestSaveReportsWriteFailure(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("root ignores directory permissions")
+	}
+	d := tinyDataset(t)
+	dir := t.TempDir()
+	sub := dir + "/ro"
+	if err := d.Save(sub); err != nil {
+		t.Fatal(err)
+	}
+	// Make the directory read-only and try to overwrite.
+	if err := os.Chmod(sub, 0o500); err != nil {
+		t.Skipf("cannot chmod: %v", err)
+	}
+	defer os.Chmod(sub, 0o755)
+	if err := d.Save(sub); err == nil {
+		t.Error("save into read-only directory reported success")
+	}
+}

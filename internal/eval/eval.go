@@ -222,20 +222,24 @@ func (c *ConvergenceTrace) Changes() []float64 {
 }
 
 // ConvergedAt returns the first 1-based iteration whose change drops below
-// eps and stays there, or 0 if never.
+// eps and stays there, or 0 if never. A single backward pass finds the
+// last above-eps change: everything after it is the stable tail, so the
+// answer is the iteration right after it — a late spike past an earlier
+// dip correctly pushes convergence behind the spike.
 func (c *ConvergenceTrace) ConvergedAt(eps float64) int {
 	changes := c.Changes()
-	for i := range changes {
-		stable := true
-		for j := i; j < len(changes); j++ {
-			if changes[j] > eps {
-				stable = false
-				break
-			}
-		}
-		if stable {
-			return i + 1
+	if len(changes) == 0 {
+		return 0
+	}
+	lastAbove := -1
+	for j := len(changes) - 1; j >= 0; j-- {
+		if changes[j] > eps {
+			lastAbove = j
+			break
 		}
 	}
-	return 0
+	if lastAbove == len(changes)-1 {
+		return 0 // still moving at the final iteration
+	}
+	return lastAbove + 2
 }

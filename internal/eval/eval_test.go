@@ -170,3 +170,38 @@ func TestConvergenceTrace(t *testing.T) {
 		t.Error("single-point trace should have no changes")
 	}
 }
+
+// TestConvergedAtDipThenSpike locks the "stays there" semantics the
+// backward-pass rewrite must preserve: a series that dips below eps and
+// later spikes is not converged at the dip — only after the last spike.
+func TestConvergedAtDipThenSpike(t *testing.T) {
+	var c ConvergenceTrace
+	// changes: 0.001, 0.001, 0.20, 0.001, 0.001
+	for _, v := range []float64{0.50, 0.501, 0.502, 0.702, 0.703, 0.704} {
+		c.Record(v)
+	}
+	if got := c.ConvergedAt(0.01); got != 4 {
+		t.Errorf("ConvergedAt(0.01) = %d, want 4 (after the spike)", got)
+	}
+
+	// Spike at the very end: never converged.
+	c.Record(0.904)
+	if got := c.ConvergedAt(0.01); got != 0 {
+		t.Errorf("ConvergedAt with trailing spike = %d, want 0", got)
+	}
+
+	// All changes below eps: converged at iteration 1.
+	var flat ConvergenceTrace
+	for _, v := range []float64{0.5, 0.5001, 0.5002, 0.5001} {
+		flat.Record(v)
+	}
+	if got := flat.ConvergedAt(0.01); got != 1 {
+		t.Errorf("flat ConvergedAt = %d, want 1", got)
+	}
+
+	// Empty trace.
+	var empty ConvergenceTrace
+	if got := empty.ConvergedAt(0.01); got != 0 {
+		t.Errorf("empty ConvergedAt = %d, want 0", got)
+	}
+}

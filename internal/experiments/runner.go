@@ -329,17 +329,21 @@ func (r *Runner) ensureFull() error {
 // explanation ground truth, mirroring how the paper built its 4,426
 // labeled relationships: edges of its 585 multi-location users whose
 // "location assignments could be clearly identified by their shared
-// regions". Here: location-based edges touching at least one
-// multi-location user whose true assignments lie in one region
-// (within 100 miles of each other).
+// regions". Here: edges touching at least one multi-location user,
+// whose true assignments (when location-based) lie in one region
+// (within 100 miles of each other). Noise-generated edges of those
+// users stay eligible — the paper evaluates every labeled relationship,
+// and a noise edge's correct explanation is the noise flag itself
+// (relationshipEvals scores it accordingly); they carry no assignment
+// pair, so the shared-region condition does not apply to them.
 func (r *Runner) relEligible(s int) bool {
-	et := r.data.Truth.EdgeTruths[s]
-	if et.Noise {
-		return false
-	}
 	e := r.data.Corpus.Edges[s]
 	if len(r.data.Truth.Profiles[e.From]) < 2 && len(r.data.Truth.Profiles[e.To]) < 2 {
 		return false
+	}
+	et := r.data.Truth.EdgeTruths[s]
+	if et.Noise {
+		return true
 	}
 	return r.data.Corpus.Gaz.Distance(et.X, et.Y) <= 100
 }
@@ -360,9 +364,24 @@ func (r *Runner) relationshipEvals() (mlp, base *eval.RelEval, err error) {
 			continue
 		}
 		et := truth.EdgeTruths[s]
-		// Noise-flagged edges still carry (profile-drawn) assignments —
-		// Eqs. 7–9 keep them — and the paper evaluates every labeled
-		// relationship, so they are scored rather than skipped.
+		if et.Noise {
+			// A noise-generated edge carries no true assignment pair to
+			// measure against; its correct explanation is the noise flag
+			// itself. Routing it to the random model scores as exact,
+			// any location-based explanation as a miss. The home-location
+			// baseline has no noise component, so it always misses here.
+			if exp, ok := r.fullMLP.MAPExplainEdge(s); ok && exp.Noisy {
+				mlp.Add(0, 0)
+			} else {
+				mlp.AddMissing()
+			}
+			base.AddMissing()
+			continue
+		}
+		// Model-noise-flagged edges still carry (profile-drawn)
+		// assignments — Eqs. 7–9 keep them — and the paper evaluates
+		// every labeled relationship, so they are scored rather than
+		// skipped.
 		if exp, ok := r.fullMLP.MAPExplainEdge(s); ok {
 			mlp.Add(gaz.Distance(exp.X, et.X), gaz.Distance(exp.Y, et.Y))
 		} else {

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestRelEligibleScoresNoiseEdges is the regression lock for the
+// noise-edge contradiction: relEligible used to skip every
+// truth-noise-generated edge, while relationshipEvals documents that the
+// paper's evaluation scores every labeled relationship. The generated
+// world has EdgeNoise > 0, so eligibility must now include noise edges of
+// multi-location users — and the exact counts are pinned so an
+// accidental re-exclusion (or a generator drift) shows up immediately.
+func TestRelEligibleScoresNoiseEdges(t *testing.T) {
+	r := runner(t) // Seed 1, 700 users, 200 locations — synth noise defaults on
+
+	var eligible, noiseEligible, noiseTotal int
+	for s := range r.data.Corpus.Edges {
+		et := r.data.Truth.EdgeTruths[s]
+		if et.Noise {
+			noiseTotal++
+		}
+		if r.relEligible(s) {
+			eligible++
+			if et.Noise {
+				noiseEligible++
+			}
+		}
+	}
+	t.Logf("edges=%d eligible=%d noiseEligible=%d noiseTotal=%d",
+		len(r.data.Corpus.Edges), eligible, noiseEligible, noiseTotal)
+
+	if noiseTotal == 0 {
+		t.Fatal("world has no noise edges; the regression test needs them")
+	}
+	if noiseEligible == 0 {
+		t.Error("no noise edge is eligible: the noise-skip contradiction is back")
+	}
+	// Pinned on the shared test world. If the synthetic generator
+	// changes, re-derive; if only these shift, eligibility logic drifted.
+	const wantEligible, wantNoiseEligible = 3693, 819
+	if eligible != wantEligible || noiseEligible != wantNoiseEligible {
+		t.Errorf("eligible=%d (want %d), noiseEligible=%d (want %d)",
+			eligible, wantEligible, noiseEligible, wantNoiseEligible)
+	}
+}

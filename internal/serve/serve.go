@@ -1,0 +1,358 @@
+// Package serve implements the long-lived serving layer over a fitted
+// model (DESIGN.md §10): an HTTP JSON API answering profile, explanation
+// and venue-probability lookups from a snapshot loaded once at startup,
+// instead of the CLIs' refit-per-invocation.
+//
+// Everything served is a pure read of the fitted model — Profile,
+// MAPExplainEdge/ExplainEdge, VenueProbability — which are safe for
+// arbitrary concurrent readers (the model is immutable after load; no
+// Gibbs state mutates at serve time). The handlers therefore share one
+// Model with no locking.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"mlprofile/internal/core"
+	"mlprofile/internal/dataset"
+	"mlprofile/internal/gazetteer"
+)
+
+// Server answers read-only queries over one fitted model and its corpus.
+type Server struct {
+	model  *core.Model
+	corpus *dataset.Corpus
+
+	// byHandle resolves /profile/{handle} lookups; built once at
+	// construction, read-only afterwards.
+	byHandle map[string]dataset.UserID
+
+	started  time.Time
+	requests atomic.Int64
+	errors   atomic.Int64
+}
+
+// New builds a server over a loaded model and the corpus it was fitted
+// (or snapshot-verified) against.
+func New(m *core.Model, c *dataset.Corpus) *Server {
+	s := &Server{
+		model:    m,
+		corpus:   c,
+		byHandle: make(map[string]dataset.UserID, len(c.Users)),
+		started:  time.Now(),
+	}
+	for _, u := range c.Users {
+		s.byHandle[u.Handle] = u.ID
+	}
+	return s
+}
+
+// cityJSON is the wire form of one city reference.
+type cityJSON struct {
+	City gazetteer.CityID `json:"city"`
+	Key  string           `json:"key"`
+}
+
+func (s *Server) city(id gazetteer.CityID) *cityJSON {
+	if id == dataset.NoCity {
+		return nil
+	}
+	return &cityJSON{City: id, Key: s.corpus.Gaz.City(id).Key()}
+}
+
+type profileEntryJSON struct {
+	City   gazetteer.CityID `json:"city"`
+	Key    string           `json:"key"`
+	Weight float64          `json:"weight"`
+}
+
+type profileJSON struct {
+	User    dataset.UserID     `json:"user"`
+	Handle  string             `json:"handle"`
+	Home    *cityJSON          `json:"home"`
+	Profile []profileEntryJSON `json:"profile"`
+}
+
+type explanationJSON struct {
+	X     *cityJSON `json:"x"`
+	Y     *cityJSON `json:"y"`
+	Noisy bool      `json:"noisy"`
+}
+
+type edgeJSON struct {
+	Edge    int             `json:"edge"`
+	From    dataset.UserID  `json:"from"`
+	To      dataset.UserID  `json:"to"`
+	MAP     explanationJSON `json:"map"`
+	Sampled explanationJSON `json:"sampled"`
+}
+
+type venueProbJSON struct {
+	City  gazetteer.CityID  `json:"city"`
+	Venue gazetteer.VenueID `json:"venue"`
+	Name  string            `json:"name"`
+	Psi   float64           `json:"psi"`
+}
+
+type statsJSON struct {
+	Status        string  `json:"status"`
+	Variant       string  `json:"variant"`
+	Users         int     `json:"users"`
+	Locations     int     `json:"locations"`
+	Venues        int     `json:"venues"`
+	Edges         int     `json:"edges"`
+	Tweets        int     `json:"tweets"`
+	Iterations    int     `json:"iterations"`
+	Alpha         float64 `json:"alpha"`
+	Beta          float64 `json:"beta"`
+	EdgeNoise     float64 `json:"edge_noise"`
+	TweetNoise    float64 `json:"tweet_noise"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Requests      int64   `json:"requests"`
+	Errors        int64   `json:"errors"`
+}
+
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the API mux:
+//
+//	GET /healthz                   liveness probe
+//	GET /stats                     corpus + model + process counters
+//	GET /profile/{user}?top=K      top-K location profile (ID or handle)
+//	GET /edge/{id}/explanation     MAP + sampled explanation of edge id
+//	GET /venue-prob?city=&venue=   collapsed venue probability ψ̂_l(v)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.count(s.handleHealthz))
+	mux.HandleFunc("GET /stats", s.count(s.handleStats))
+	mux.HandleFunc("GET /profile/{user}", s.count(s.handleProfile))
+	mux.HandleFunc("GET /edge/{id}/explanation", s.count(s.handleEdge))
+	mux.HandleFunc("GET /venue-prob", s.count(s.handleVenueProb))
+	return mux
+}
+
+func (s *Server) count(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		h(w, r)
+	}
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...any) {
+	s.errors.Add(1)
+	s.writeJSON(w, status, errorJSON{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.started).Seconds(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.corpus.Stats()
+	alpha, beta := s.model.AlphaBeta()
+	en, tn := s.model.NoiseStats()
+	s.writeJSON(w, http.StatusOK, statsJSON{
+		Status:        "ok",
+		Variant:       s.model.Config().Variant.String(),
+		Users:         st.Users,
+		Locations:     st.Locations,
+		Venues:        st.Venues,
+		Edges:         st.Edges,
+		Tweets:        st.Tweets,
+		Iterations:    s.model.Iterations(),
+		Alpha:         alpha,
+		Beta:          beta,
+		EdgeNoise:     en,
+		TweetNoise:    tn,
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Requests:      s.requests.Load(),
+		Errors:        s.errors.Load(),
+	})
+}
+
+// resolveUser accepts either a dense numeric user ID or a handle.
+func (s *Server) resolveUser(raw string) (dataset.UserID, bool) {
+	if id, err := strconv.Atoi(raw); err == nil {
+		if id < 0 || id >= len(s.corpus.Users) {
+			return 0, false
+		}
+		return dataset.UserID(id), true
+	}
+	id, ok := s.byHandle[raw]
+	return id, ok
+}
+
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	u, ok := s.resolveUser(r.PathValue("user"))
+	if !ok {
+		s.fail(w, http.StatusNotFound, "unknown user %q", r.PathValue("user"))
+		return
+	}
+	top := 3
+	if raw := r.URL.Query().Get("top"); raw != "" {
+		k, err := strconv.Atoi(raw)
+		if err != nil || k < 1 {
+			s.fail(w, http.StatusBadRequest, "bad top %q", raw)
+			return
+		}
+		top = k
+	}
+	prof := s.model.Profile(u)
+	if len(prof) > top {
+		prof = prof[:top]
+	}
+	entries := make([]profileEntryJSON, len(prof))
+	for i, wl := range prof {
+		entries[i] = profileEntryJSON{
+			City:   wl.City,
+			Key:    s.corpus.Gaz.City(wl.City).Key(),
+			Weight: wl.Weight,
+		}
+	}
+	s.writeJSON(w, http.StatusOK, profileJSON{
+		User:    u,
+		Handle:  s.corpus.Users[u].Handle,
+		Home:    s.city(s.model.Home(u)),
+		Profile: entries,
+	})
+}
+
+func (s *Server) handleEdge(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil || id < 0 || id >= len(s.corpus.Edges) {
+		s.fail(w, http.StatusNotFound, "unknown edge %q", r.PathValue("id"))
+		return
+	}
+	mapExp, ok := s.model.MAPExplainEdge(id)
+	if !ok {
+		s.fail(w, http.StatusUnprocessableEntity, "model variant %s does not consume edges", s.model.Config().Variant)
+		return
+	}
+	sampled, _ := s.model.ExplainEdge(id)
+	e := s.corpus.Edges[id]
+	s.writeJSON(w, http.StatusOK, edgeJSON{
+		Edge: id,
+		From: e.From,
+		To:   e.To,
+		MAP: explanationJSON{
+			X: s.city(mapExp.X), Y: s.city(mapExp.Y), Noisy: mapExp.Noisy,
+		},
+		Sampled: explanationJSON{
+			X: s.city(sampled.X), Y: s.city(sampled.Y), Noisy: sampled.Noisy,
+		},
+	})
+}
+
+// resolveCity accepts a numeric city ID or a "name, st" key.
+func (s *Server) resolveCity(raw string) (gazetteer.CityID, bool) {
+	if id, err := strconv.Atoi(raw); err == nil {
+		if id < 0 || id >= s.corpus.Gaz.Len() {
+			return 0, false
+		}
+		return gazetteer.CityID(id), true
+	}
+	if name, state, ok := strings.Cut(raw, ","); ok {
+		return s.corpus.Gaz.ResolveInState(strings.TrimSpace(name), strings.TrimSpace(state))
+	}
+	if ids := s.corpus.Gaz.Resolve(raw); len(ids) > 0 {
+		return ids[0], true // most populous sense
+	}
+	return 0, false
+}
+
+func (s *Server) handleVenueProb(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	city, ok := s.resolveCity(q.Get("city"))
+	if !ok {
+		s.fail(w, http.StatusNotFound, "unknown city %q", q.Get("city"))
+		return
+	}
+	rawVenue := q.Get("venue")
+	var venue gazetteer.VenueID
+	if id, err := strconv.Atoi(rawVenue); err == nil && id >= 0 && id < s.corpus.Venues.Len() {
+		venue = gazetteer.VenueID(id)
+	} else if id, found := s.corpus.Venues.ID(rawVenue); found {
+		venue = id
+	} else {
+		s.fail(w, http.StatusNotFound, "unknown venue %q", rawVenue)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, venueProbJSON{
+		City:  city,
+		Venue: venue,
+		Name:  s.corpus.Venues.Venue(venue).Name,
+		Psi:   s.model.VenueProbability(city, venue),
+	})
+}
+
+// Oneshot answers a single API path in process — no listener — returning
+// the response body exactly as the HTTP server would serialize it. The CI
+// smoke leg diffs this against a curl of the running daemon to prove the
+// network layer adds nothing.
+func (s *Server) Oneshot(path string) (status int, body []byte, err error) {
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	return rec.Code, rec.Body.Bytes(), nil
+}
+
+// ListenAndServe runs the API server on addr until ctx is cancelled, then
+// shuts down gracefully (in-flight requests get shutdownGrace to finish).
+// ready, when non-nil, receives the bound address once the listener is
+// up — callers binding ":0" learn the real port.
+func (s *Server) ListenAndServe(ctx context.Context, addr string, ready chan<- string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return err
+		}
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}
+
+// shutdownGrace bounds how long graceful shutdown waits for in-flight
+// requests. Reads are microseconds; a server that cannot drain in five
+// seconds is wedged, not busy.
+const shutdownGrace = 5 * time.Second

@@ -41,6 +41,7 @@ import (
 	"mlprofile/internal/experiments"
 	"mlprofile/internal/gazetteer"
 	"mlprofile/internal/relbase"
+	"mlprofile/internal/serve"
 	"mlprofile/internal/synth"
 )
 
@@ -145,6 +146,27 @@ const (
 
 // Fit runs MLP inference over a corpus.
 func Fit(c *Corpus, cfg ModelConfig) (*Model, error) { return core.Fit(c, cfg) }
+
+// SaveModel writes a fitted model's snapshot to path (atomically): the
+// collapsed counts, refined (α, β), final assignments, config, and a
+// fingerprint of the world it was fitted against. See DESIGN.md §10.
+func SaveModel(m *Model, path string) error { return m.SaveSnapshot(path) }
+
+// LoadModel reads a snapshot written by SaveModel and reconstructs the
+// fitted model against the given corpus — which must be the same world,
+// verified by fingerprint. The loaded model answers every readout
+// (profiles, explanations, venue probabilities) bit-for-bit identically
+// to the model that wrote the snapshot; it cannot resume sampling.
+func LoadModel(c *Corpus, path string) (*Model, error) { return core.LoadSnapshot(c, path) }
+
+// ModelServer is the long-lived read-only HTTP serving layer over a
+// fitted model (see cmd/mlpserve and DESIGN.md §10).
+type ModelServer = serve.Server
+
+// Serve builds an HTTP server answering profile, explanation and
+// venue-probability lookups over a fitted (or snapshot-loaded) model.
+// Run it with ListenAndServe, or mount Handler() into an existing mux.
+func Serve(m *Model, c *Corpus) *ModelServer { return serve.New(m, c) }
 
 // Synthetic world generation.
 type (

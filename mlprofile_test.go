@@ -107,6 +107,52 @@ func TestPublicAPISaveLoad(t *testing.T) {
 	}
 }
 
+// TestPublicAPISnapshotAndServe drives the serving façade: fit, snapshot
+// to disk, load, and answer a profile lookup through the HTTP handler
+// with byte-identical results from the fitted and the loaded model.
+func TestPublicAPISnapshotAndServe(t *testing.T) {
+	world, err := mlprofile.GenerateWorld(mlprofile.WorldConfig{
+		Seed: 4, NumUsers: 150, NumLocations: 80,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := mlprofile.Fit(&world.Corpus, mlprofile.ModelConfig{Seed: 1, Iterations: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/model.mlp"
+	if err := mlprofile.SaveModel(model, path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := mlprofile.LoadModel(&world.Corpus, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, a, err := mlprofile.Serve(model, &world.Corpus).Oneshot("/profile/7?top=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, b, err := mlprofile.Serve(loaded, &world.Corpus).Oneshot("/profile/7?top=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Errorf("served profile differs after snapshot round trip:\n%s\n%s", a, b)
+	}
+
+	// A mismatched world must be refused.
+	other, err := mlprofile.GenerateWorld(mlprofile.WorldConfig{
+		Seed: 5, NumUsers: 150, NumLocations: 81,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mlprofile.LoadModel(&other.Corpus, path); err == nil {
+		t.Error("snapshot loaded against a different world")
+	}
+}
+
 // TestExperimentsFacade runs one small table through the façade.
 func TestExperimentsFacade(t *testing.T) {
 	if testing.Short() {
