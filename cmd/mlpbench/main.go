@@ -56,6 +56,8 @@ type Result struct {
 	Psi          string  `json:"psi"`
 	Draw         string  `json:"draw"`
 	Workers      int     `json:"workers"`
+	Shards       int     `json:"shards,omitempty"`
+	Stale        bool    `json:"stale,omitempty"`
 	InitSeconds  float64 `json:"init_seconds"`
 	SweepSeconds float64 `json:"sweep_seconds"`
 	RelsPerSec   float64 `json:"rels_per_sec"`
@@ -153,30 +155,7 @@ func main() {
 					for _, workers := range workerCounts {
 						cfg := core.Config{Seed: *seed, NoiseBurnIn: 1, Workers: workers,
 							BlockedSampler: kernel.blocked, DistTable: dist, PsiStore: psi, FusedDraw: draw}
-						timeFit := func(iters int) float64 {
-							cfg.Iterations = iters
-							start := time.Now()
-							if _, err := core.Fit(c, cfg); err != nil {
-								fatal(err)
-							}
-							return time.Since(start).Seconds()
-						}
-						// Median of -count measurements: each measurement is
-						// the (tN - t1)/sweeps pair, so per-run init jitter
-						// cancels inside the pair and the median discards
-						// the cross-run outliers noisy runners produce.
-						inits := make([]float64, 0, *count)
-						perSweeps := make([]float64, 0, *count)
-						for r := 0; r < *count; r++ {
-							t1 := timeFit(1)
-							tN := timeFit(1 + *sweeps)
-							perSweep := (tN - t1) / float64(*sweeps)
-							if perSweep <= 0 {
-								perSweep = t1 // degenerate tiny worlds; fall back to the full fit
-							}
-							inits = append(inits, t1)
-							perSweeps = append(perSweeps, perSweep)
-						}
+						initS, perSweep := measureCell(c, cfg, *sweeps, *count)
 						r := Result{
 							Name: fmt.Sprintf("kernel=%s/dist=%s/psi=%s/draw=%s/workers=%d",
 								kernel.name, dist, psi, draw, workers),
@@ -185,9 +164,9 @@ func main() {
 							Psi:          psi.String(),
 							Draw:         draw.String(),
 							Workers:      workers,
-							InitSeconds:  median(inits),
-							SweepSeconds: median(perSweeps),
-							RelsPerSec:   float64(rels) / median(perSweeps),
+							InitSeconds:  initS,
+							SweepSeconds: perSweep,
+							RelsPerSec:   float64(rels) / perSweep,
 						}
 						rep.Results = append(rep.Results, r)
 						log.Printf("%-60s sweep %8.2fms  %10.0f rels/s", r.Name, r.SweepSeconds*1e3, r.RelsPerSec)
@@ -195,6 +174,37 @@ func main() {
 				}
 			}
 		}
+	}
+
+	// Shard axis: the sharded pipeline at the default fast-path modes,
+	// across shard counts, plus the stale boundary protocol at the
+	// widest count. Shards=1 is by construction the single-chain sampler
+	// already measured above, so the axis starts at 2.
+	for _, sc := range []struct {
+		shards int
+		stale  bool
+	}{{2, false}, {4, false}, {4, true}} {
+		cfg := core.Config{Seed: *seed, NoiseBurnIn: 1, Shards: sc.shards, StaleBoundary: sc.stale,
+			DistTable: core.DistTableOn, PsiStore: core.PsiStoreOn, FusedDraw: core.FusedDrawOn}
+		initS, perSweep := measureCell(c, cfg, *sweeps, *count)
+		name := fmt.Sprintf("kernel=pervar/dist=table/psi=venue/draw=fused/shards=%d", sc.shards)
+		if sc.stale {
+			name += "/stale"
+		}
+		r := Result{
+			Name:         name,
+			Kernel:       "pervar",
+			Dist:         core.DistTableOn.String(),
+			Psi:          core.PsiStoreOn.String(),
+			Draw:         core.FusedDrawOn.String(),
+			Shards:       sc.shards,
+			Stale:        sc.stale,
+			InitSeconds:  initS,
+			SweepSeconds: perSweep,
+			RelsPerSec:   float64(rels) / perSweep,
+		}
+		rep.Results = append(rep.Results, r)
+		log.Printf("%-60s sweep %8.2fms  %10.0f rels/s", r.Name, r.SweepSeconds*1e3, r.RelsPerSec)
 	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
@@ -233,6 +243,35 @@ func fatal(v ...any) {
 		pprof.StopCPUProfile()
 	}
 	log.Fatal(v...)
+}
+
+// measureCell times one config as two fits — one initialization-only and
+// one with sweeps Gibbs iterations — repeated count times. Each
+// measurement is the (tN - t1)/sweeps pair, so per-run init jitter
+// cancels inside the pair, and the median discards the cross-run
+// outliers noisy runners produce.
+func measureCell(c *dataset.Corpus, cfg core.Config, sweeps, count int) (initS, perSweep float64) {
+	timeFit := func(iters int) float64 {
+		cfg.Iterations = iters
+		start := time.Now()
+		if _, err := core.Fit(c, cfg); err != nil {
+			fatal(err)
+		}
+		return time.Since(start).Seconds()
+	}
+	inits := make([]float64, 0, count)
+	perSweeps := make([]float64, 0, count)
+	for r := 0; r < count; r++ {
+		t1 := timeFit(1)
+		tN := timeFit(1 + sweeps)
+		ps := (tN - t1) / float64(sweeps)
+		if ps <= 0 {
+			ps = t1 // degenerate tiny worlds; fall back to the full fit
+		}
+		inits = append(inits, t1)
+		perSweeps = append(perSweeps, ps)
+	}
+	return median(inits), median(perSweeps)
 }
 
 // median returns the middle value (lower middle for even counts) without

@@ -38,7 +38,10 @@ func main() {
 		dtable  = flag.Bool("disttable", true, "serve d^alpha from the quantized distance table (false = exact per-pair evaluation)")
 		pstore  = flag.Bool("psistore", true, "store collapsed venue counts venue-major (false = city-major maps, the reference layout)")
 		fdraw   = flag.Bool("fuseddraw", true, "draw with the fused prefix-sum pipeline (false = reference fill + Categorical path)")
-		snap    = flag.String("snapshot", "", "also write a fitted-model snapshot here for mlpserve")
+		snap    = flag.String("snapshot", "", "also write a fitted-model snapshot here for mlpserve (a directory when -shards > 1)")
+		shards  = flag.Int("shards", 1, "user shards for the sharded Gibbs pipeline (1 = single-chain exact sampler)")
+		stale   = flag.Bool("staleboundary", false, "resample boundary edges against stale per-sweep snapshots instead of the synced barrier (shards > 1 only)")
+		stream  = flag.Bool("stream", false, "load the dataset through the chunked streaming reader (bounded peak memory)")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -58,21 +61,27 @@ func main() {
 		log.Fatalf("unknown variant %q", *variant)
 	}
 
-	d, err := dataset.Load(*data)
+	load := dataset.Load
+	if *stream {
+		load = dataset.LoadStreamed
+	}
+	d, err := load(*data)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("loaded %s\n", d.Corpus.Stats())
 
 	m, err := core.Fit(&d.Corpus, core.Config{
-		Seed:       *seed,
-		Iterations: *iters,
-		Variant:    v,
-		Workers:    *workers,
-		GibbsEM:    *em,
-		DistTable:  core.DistTableFor(*dtable),
-		PsiStore:   core.PsiStoreFor(*pstore),
-		FusedDraw:  core.FusedDrawFor(*fdraw),
+		Seed:          *seed,
+		Iterations:    *iters,
+		Variant:       v,
+		Workers:       *workers,
+		Shards:        *shards,
+		StaleBoundary: *stale,
+		GibbsEM:       *em,
+		DistTable:     core.DistTableFor(*dtable),
+		PsiStore:      core.PsiStoreFor(*pstore),
+		FusedDraw:     core.FusedDrawFor(*fdraw),
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -81,9 +90,16 @@ func main() {
 	en, tn := m.NoiseStats()
 	fmt.Printf("fitted %s in %d iterations: alpha=%.3f beta=%.5f noise(edges)=%.3f noise(tweets)=%.3f\n",
 		v, m.Iterations(), alpha, beta, en, tn)
+	if active, dense := m.DistTableStatus(); active && !dense {
+		log.Printf("distance table: gazetteer exceeds the %d-city dense pair-matrix ceiling; serving d^alpha from per-lookup quantization (slower, same draws)", core.MaxDensePairCities)
+	}
 
 	if *snap != "" {
-		if err := m.SaveSnapshot(*snap); err != nil {
+		save := m.SaveSnapshot
+		if *shards > 1 {
+			save = m.SaveShardedSnapshot
+		}
+		if err := save(*snap); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote snapshot %s\n", *snap)

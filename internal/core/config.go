@@ -182,6 +182,26 @@ type Config struct {
 	// the sweep's tweet phase.
 	Workers int
 
+	// Shards is the number of user partitions each Gibbs sweep is run
+	// over (default 1). Shards=1 is the single-chain sampler — exactly
+	// the pre-sharding code path, golden-locked bit-for-bit. Shards>1
+	// partitions users by dataset.ShardOf: each shard sweeps its intra-
+	// shard edges and its users' tweets concurrently on its own count
+	// state, and boundary edges (endpoints on different shards) are
+	// resampled at a per-sweep barrier against synced counts (see
+	// DESIGN.md §11). Deterministic for a fixed (Seed, Shards) pair.
+	// Workers is ignored when Shards>1 — the shards are the parallelism.
+	Shards int
+
+	// StaleBoundary switches the boundary-edge phase to Hogwild-style
+	// stale reads: each shard resamples its boundary edges in corpus
+	// order against the remote endpoint's sweep-start ϕ snapshot, with
+	// remote-side writes deferred to the barrier. Trades the synced
+	// boundary phase's extra barrier for staleness that is bounded by
+	// one sweep; equivalence-locked the way DistTable/PsiStore were.
+	// Ignored when Shards<=1; the blocked kernel always syncs.
+	StaleBoundary bool
+
 	// RhoF and RhoT are the mixture priors for noisy following/tweeting
 	// relationships (default 0.1 each).
 	RhoF, RhoT float64
@@ -283,6 +303,9 @@ func (c Config) withDefaults() Config {
 	if c.Workers == 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
 	if c.RhoF == 0 {
 		c.RhoF = 0.1
 	}
@@ -337,6 +360,9 @@ func (c Config) validate() error {
 	}
 	if c.Workers < 1 {
 		return errors.New("core: Workers must be >= 1 (or zero for GOMAXPROCS)")
+	}
+	if c.Shards < 1 {
+		return errors.New("core: Shards must be >= 1 (or zero for single-chain)")
 	}
 	if c.RhoF < 0 || c.RhoF >= 1 || c.RhoT < 0 || c.RhoT >= 1 {
 		return fmt.Errorf("core: noise priors (%f, %f) must lie in [0,1)", c.RhoF, c.RhoT)

@@ -66,6 +66,24 @@ const (
 	maxDensePairCities = 2048
 )
 
+// MaxDensePairCities is the gazetteer-size ceiling of the dense pair-bin
+// matrix, exported so callers (mlptrain's fallback log, the sharded
+// pipeline) can report when a fit crosses it.
+const MaxDensePairCities = maxDensePairCities
+
+// DistTableStatus reports the distance-amortization state of a fitted
+// model: whether the quantized table is active at all, and whether it is
+// backed by the dense pair-bin matrix or fell back to per-lookup
+// quantization because the gazetteer exceeds MaxDensePairCities. Callers
+// scaling corpora up (the sharded path in particular) should surface the
+// fallback rather than let the slower path engage silently.
+func (m *Model) DistTableStatus() (active, dense bool) {
+	if m.dt == nil {
+		return false, false
+	}
+	return true, m.dt.pb != nil
+}
+
 // pairBins is the immutable pair→bin level for one gazetteer: the dense
 // compact-bin matrix and the bin representatives. Distances never change,
 // so this level depends only on the gazetteer and the bin width — it is

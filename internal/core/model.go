@@ -97,6 +97,15 @@ type Model struct {
 	seq     *sweepCtx
 	plan    *sweepPlan
 	parCtxs []*sweepCtx
+
+	// Sharded sweep state, keyed off cfg.Shards (see shard.go): the user
+	// partition and per-shard contexts, plus the stale boundary mode's
+	// sweep-start ϕ snapshot (rows allocated only for users boundary
+	// edges read remotely).
+	splan     *shardPlan
+	shCtxs    []*sweepCtx
+	stalePhi  [][]float64
+	staleSums []float64
 }
 
 // Fit runs MLP inference over the corpus and returns the fitted model.

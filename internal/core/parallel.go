@@ -51,6 +51,10 @@ type sweepCtx struct {
 	// current tweet's venue iff its stamp equals gepoch.
 	gcells []psiGatherCell
 	gepoch uint64
+
+	// stale collects the deferred remote-side ϕ ops of the sharded
+	// stale-boundary protocol (see shard.go); empty outside it.
+	stale []staleOp
 }
 
 // venueKey packs a (city, venue) pair into one map key. Only the
@@ -149,6 +153,19 @@ func buildSweepPlan(c *dataset.Corpus, workers int, useF, useT bool) *sweepPlan 
 // either endpoint (≤ 2Δ−1 colors for maximum degree Δ) and returns the
 // color classes sorted by size, descending.
 func colorEdges(c *dataset.Corpus) [][]int32 {
+	all := make([]int32, len(c.Edges))
+	for i := range all {
+		all[i] = int32(i)
+	}
+	return colorEdgesSubset(c, all)
+}
+
+// colorEdgesSubset colors only the given edge indices, visiting them in
+// slice order. colorEdges delegates here with all indices in corpus
+// order, so the full-corpus classes (which the Workers>1 golden
+// fingerprints depend on) are unchanged; the sharded sampler reuses the
+// same machinery for its boundary-edge set.
+func colorEdgesSubset(c *dataset.Corpus, subset []int32) [][]int32 {
 	used := make([][]uint64, len(c.Users)) // per-user color bitset
 	setBit := func(u dataset.UserID, col int) {
 		w := col / 64
@@ -157,9 +174,10 @@ func colorEdges(c *dataset.Corpus) [][]int32 {
 		}
 		used[u][w] |= 1 << (col % 64)
 	}
-	colorOf := make([]int32, len(c.Edges))
+	colorOf := make([]int32, len(subset))
 	numColors := int32(0)
-	for s, e := range c.Edges {
+	for i, s := range subset {
+		e := c.Edges[s]
 		a, b := used[e.From], used[e.To]
 		col := 0
 		for w := 0; ; w++ {
@@ -175,7 +193,7 @@ func colorEdges(c *dataset.Corpus) [][]int32 {
 				break
 			}
 		}
-		colorOf[s] = int32(col)
+		colorOf[i] = int32(col)
 		setBit(e.From, col)
 		setBit(e.To, col)
 		if int32(col)+1 > numColors {
@@ -183,8 +201,8 @@ func colorEdges(c *dataset.Corpus) [][]int32 {
 		}
 	}
 	classes := make([][]int32, numColors)
-	for s, col := range colorOf {
-		classes[col] = append(classes[col], int32(s))
+	for i, col := range colorOf {
+		classes[col] = append(classes[col], subset[i])
 	}
 	sort.SliceStable(classes, func(i, j int) bool {
 		return len(classes[i]) > len(classes[j])
@@ -321,9 +339,13 @@ func (m *Model) sweepParallel() {
 // what immediate application would have produced. The venue-major
 // overlay folds by walking each worker's dirty-venue list — O(touched)
 // rather than O(|V|) — and reuses row capacity across sweeps.
-func (m *Model) foldVenueDeltas() {
+func (m *Model) foldVenueDeltas() { m.foldVenueDeltasFrom(m.parCtxs) }
+
+// foldVenueDeltasFrom is foldVenueDeltas over an explicit ctx set — the
+// sharded sweep folds its per-shard ctxs through the same code path.
+func (m *Model) foldVenueDeltasFrom(ctxs []*sweepCtx) {
 	if m.ps != nil {
-		for _, ctx := range m.parCtxs {
+		for _, ctx := range ctxs {
 			if ctx.ovl == nil {
 				continue
 			}
@@ -348,7 +370,7 @@ func (m *Model) foldVenueDeltas() {
 		}
 		return
 	}
-	for _, ctx := range m.parCtxs {
+	for _, ctx := range ctxs {
 		if ctx.vdelta == nil {
 			continue
 		}

@@ -14,8 +14,14 @@ import (
 // (x, y, µ) and every tweeting relationship's (z, ν) is resampled from its
 // conditional posterior (Eqs. 5–9). Workers=1 runs the paper's exact
 // sequential chain on the model RNG; Workers>1 fans the sweep out over
-// user-disjoint shards (sweepParallel, see parallel.go).
+// user-disjoint shards (sweepParallel, see parallel.go). Shards>1 takes
+// precedence over Workers and runs the sharded sweep with its boundary
+// protocols (sweepSharded, see shard.go).
 func (m *Model) sweep() {
+	if m.cfg.Shards > 1 {
+		m.sweepSharded()
+		return
+	}
 	if m.cfg.Workers > 1 {
 		m.sweepParallel()
 		return

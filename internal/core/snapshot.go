@@ -41,97 +41,17 @@ import (
 var snapshotMagic = [8]byte{'M', 'L', 'P', 'S', 'N', 'A', 'P', '\n'}
 
 // SnapshotVersion is the current encoding version. Decoders reject
-// versions they do not know.
-const SnapshotVersion uint32 = 1
+// versions they do not know. Version 2 moved the world fingerprint to
+// the shared dataset.Fingerprint encoding, added the shard header
+// (flags, shard index, shard count) and appended Shards/StaleBoundary
+// to the config section.
+const SnapshotVersion uint32 = 2
 
-// worldSection names one fingerprinted slice of the world, in encoding
-// order. Separate section hashes let the mismatch error say *what*
-// differs (a swapped gazetteer vs. an edited edge list).
-type worldSection int
-
-const (
-	sectionGazetteer worldSection = iota
-	sectionVenues
-	sectionUsers
-	sectionEdges
-	sectionTweets
-	numWorldSections
-)
-
-func (s worldSection) String() string {
-	switch s {
-	case sectionGazetteer:
-		return "gazetteer"
-	case sectionVenues:
-		return "venue vocabulary"
-	case sectionUsers:
-		return "user labels"
-	case sectionEdges:
-		return "following relationships"
-	default:
-		return "tweeting relationships"
-	}
-}
-
-// worldFingerprint hashes each model-relevant section of the corpus:
-// gazetteer geometry, venue vocabulary, user home labels, and both
-// relationship sets. Handles and raw registered strings are deliberately
-// excluded — they never enter inference, so renaming a user must not
-// invalidate a snapshot.
-func worldFingerprint(c *dataset.Corpus) [numWorldSections][sha256.Size]byte {
-	var out [numWorldSections][sha256.Size]byte
-	var b [8]byte
-	u64 := func(h io.Writer, v uint64) {
-		binary.LittleEndian.PutUint64(b[:], v)
-		h.Write(b[:])
-	}
-	str := func(h io.Writer, s string) {
-		u64(h, uint64(len(s)))
-		io.WriteString(h, s)
-	}
-
-	h := sha256.New()
-	for _, city := range c.Gaz.Cities() {
-		str(h, city.Name)
-		str(h, city.State)
-		u64(h, math.Float64bits(city.Point.Lat))
-		u64(h, math.Float64bits(city.Point.Lon))
-		u64(h, uint64(city.Population))
-	}
-	h.Sum(out[sectionGazetteer][:0])
-
-	h = sha256.New()
-	for v := 0; v < c.Venues.Len(); v++ {
-		venue := c.Venues.Venue(gazetteer.VenueID(v))
-		str(h, venue.Name)
-		u64(h, uint64(len(venue.Locations)))
-		for _, l := range venue.Locations {
-			u64(h, uint64(l))
-		}
-	}
-	h.Sum(out[sectionVenues][:0])
-
-	h = sha256.New()
-	for _, u := range c.Users {
-		u64(h, uint64(int64(u.Home)))
-	}
-	h.Sum(out[sectionUsers][:0])
-
-	h = sha256.New()
-	for _, e := range c.Edges {
-		u64(h, uint64(e.From))
-		u64(h, uint64(e.To))
-	}
-	h.Sum(out[sectionEdges][:0])
-
-	h = sha256.New()
-	for _, t := range c.Tweets {
-		u64(h, uint64(t.User))
-		u64(h, uint64(t.Venue))
-	}
-	h.Sum(out[sectionTweets][:0])
-	return out
-}
+// snapshotFlagSharded marks a file that carries one shard's slice of
+// the model state rather than a whole model. Such files live inside a
+// snapshot directory (see snapshot_shard.go) and are rejected by the
+// whole-model decoder.
+const snapshotFlagSharded uint32 = 1 << 0
 
 // snapWriter accumulates the little-endian payload.
 type snapWriter struct {
@@ -326,6 +246,8 @@ func encodeConfig(w *snapWriter, c Config) {
 	w.bool(c.DisableNoiseMixture)
 	w.bool(c.DisableSupervision)
 	w.bool(c.AllLocationCandidates)
+	w.i64(int64(c.Shards))
+	w.bool(c.StaleBoundary)
 }
 
 func decodeConfig(r *snapReader) Config {
@@ -354,7 +276,91 @@ func decodeConfig(r *snapReader) Config {
 	c.DisableNoiseMixture = r.bool()
 	c.DisableSupervision = r.bool()
 	c.AllLocationCandidates = r.bool()
+	c.Shards = int(r.i64())
+	c.StaleBoundary = r.bool()
 	return c
+}
+
+// checkWorldFingerprint consumes the section hashes from r and compares
+// them against the corpus, so the mismatch error can say *what* differs
+// (a swapped gazetteer vs. an edited edge list). Handles and registered
+// strings are deliberately outside the fingerprint — they never enter
+// inference, so renaming a user must not invalidate a snapshot.
+func checkWorldFingerprint(c *dataset.Corpus, r *snapReader) error {
+	want := dataset.Fingerprint(c)
+	for s := dataset.FingerprintSection(0); s < dataset.NumFingerprintSections; s++ {
+		var got [sha256.Size]byte
+		copy(got[:], r.take(sha256.Size))
+		if r.err == nil && got != want[s] {
+			return fmt.Errorf("core: snapshot was fitted against a different world: %s fingerprint mismatch", dataset.FingerprintSection(s))
+		}
+	}
+	return nil
+}
+
+// newSnapshotModel builds the deterministic, corpus-derived part of a
+// loaded model: distance machinery, candidacy vectors and priors, and
+// empty venue-count stores in whichever layout the config selects. The
+// caller scatters the snapshot-carried state (ϕ, latent assignments,
+// venue triples) into it.
+func newSnapshotModel(c *dataset.Corpus, cfg Config, alpha, beta float64, iters int) *Model {
+	m := &Model{
+		cfg:    cfg,
+		corpus: c,
+		dc:     newDistCalc(c.Gaz),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		useF:   cfg.Variant != TweetingOnly,
+		useT:   cfg.Variant != FollowingOnly,
+	}
+	m.alpha = alpha
+	m.beta = beta
+	m.iterationsRun = iters
+	m.curIter = iters
+
+	// The distance table serves MAPExplainEdge's d^α exactly as the
+	// fitted model's last α-epoch did: same table, same final exponent.
+	if m.useF && cfg.DistTable != DistTableOff {
+		m.dt = distTableFor(m.dc, c.Gaz)
+		m.dt.setAlpha(m.alpha)
+	}
+
+	// Candidacy vectors and priors are deterministic in (corpus, config);
+	// rebuilding reproduces the exact γ the counts were accumulated under.
+	m.cands = buildCandidates(c, cfg, m.useF, m.useT)
+
+	m.numVenues = c.Venues.Len()
+	m.deltaTotal = m.cfg.Delta * float64(m.numVenues)
+	L := c.Gaz.Len()
+	if m.cfg.PsiStore == PsiStoreOn {
+		m.ps = newPsiStore(m.numVenues)
+	} else {
+		m.venueCount = make([]map[gazetteer.VenueID]float64, L)
+	}
+	m.venueSum = make([]float64, L)
+	return m
+}
+
+// addVenueTriple folds one decoded (venue, city, count) triple into the
+// active count layout, validating range and integrality. venueSum is the
+// per-city total of integer-valued counts, so summing reproduces the
+// fitted model's incrementally maintained value exactly.
+func (m *Model) addVenueTriple(v, l int, cnt float64) error {
+	if v >= m.numVenues || l >= m.corpus.Gaz.Len() {
+		return fmt.Errorf("core: snapshot venue count (%d, %d) out of range", v, l)
+	}
+	if cnt <= 0 || cnt != math.Trunc(cnt) {
+		return fmt.Errorf("core: snapshot venue count (%d, %d) = %v is not a positive integer", v, l, cnt)
+	}
+	if m.ps != nil {
+		m.ps.add(gazetteer.VenueID(v), gazetteer.CityID(l), cnt)
+	} else {
+		if m.venueCount[l] == nil {
+			m.venueCount[l] = make(map[gazetteer.VenueID]float64, 8)
+		}
+		m.venueCount[l][gazetteer.VenueID(v)] += cnt
+	}
+	m.venueSum[l] += cnt
+	return nil
 }
 
 // EncodeSnapshot writes the model's snapshot to w. The encoding is
@@ -365,9 +371,11 @@ func (m *Model) EncodeSnapshot(wr io.Writer) error {
 	w := &snapWriter{}
 	w.buf.Write(snapshotMagic[:])
 	w.u32(SnapshotVersion)
-	w.u32(0) // reserved flags
+	w.u32(0) // flags: whole model, not a shard slice
+	w.u32(0) // shard index
+	w.u32(1) // shard count
 
-	fp := worldFingerprint(m.corpus)
+	fp := dataset.Fingerprint(m.corpus)
 	for _, h := range fp {
 		w.buf.Write(h[:])
 	}
@@ -477,7 +485,7 @@ func DecodeSnapshot(c *dataset.Corpus, rd io.Reader) (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
-	minLen := len(snapshotMagic) + 8 + int(numWorldSections)*sha256.Size + sha256.Size
+	minLen := len(snapshotMagic) + 16 + int(dataset.NumFingerprintSections)*sha256.Size + sha256.Size
 	if len(data) < minLen {
 		return nil, fmt.Errorf("core: snapshot too short (%d bytes) — truncated or not a snapshot", len(data))
 	}
@@ -494,18 +502,18 @@ func DecodeSnapshot(c *dataset.Corpus, rd io.Reader) (*Model, error) {
 	if version != SnapshotVersion {
 		return nil, fmt.Errorf("core: snapshot version %d not supported (want %d)", version, SnapshotVersion)
 	}
-	r.u32() // reserved flags
+	flags := r.u32()
+	shardIndex := r.u32()
+	shardCount := r.u32()
+	if flags&snapshotFlagSharded != 0 || shardCount != 1 || shardIndex != 0 {
+		return nil, fmt.Errorf("core: file is shard %d of a %d-shard snapshot — load the snapshot directory instead", shardIndex, shardCount)
+	}
 
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
-	want := worldFingerprint(c)
-	for s := worldSection(0); s < numWorldSections; s++ {
-		var got [sha256.Size]byte
-		copy(got[:], r.take(sha256.Size))
-		if r.err == nil && got != want[s] {
-			return nil, fmt.Errorf("core: snapshot was fitted against a different world: %s fingerprint mismatch", s)
-		}
+	if err := checkWorldFingerprint(c, r); err != nil {
+		return nil, err
 	}
 
 	cfg := decodeConfig(r)
@@ -516,29 +524,13 @@ func DecodeSnapshot(c *dataset.Corpus, rd io.Reader) (*Model, error) {
 		return nil, fmt.Errorf("core: snapshot config invalid: %w", err)
 	}
 
-	m := &Model{
-		cfg:    cfg,
-		corpus: c,
-		dc:     newDistCalc(c.Gaz),
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
-		useF:   cfg.Variant != TweetingOnly,
-		useT:   cfg.Variant != FollowingOnly,
+	alpha := r.f64()
+	beta := r.f64()
+	iters := int(r.i64())
+	if r.err != nil {
+		return nil, r.err
 	}
-	m.alpha = r.f64()
-	m.beta = r.f64()
-	m.iterationsRun = int(r.i64())
-	m.curIter = m.iterationsRun
-
-	// The distance table serves MAPExplainEdge's d^α exactly as the
-	// fitted model's last α-epoch did: same table, same final exponent.
-	if m.useF && cfg.DistTable != DistTableOff {
-		m.dt = distTableFor(m.dc, c.Gaz)
-		m.dt.setAlpha(m.alpha)
-	}
-
-	// Candidacy vectors and priors are deterministic in (corpus, config);
-	// rebuilding reproduces the exact γ the counts were accumulated under.
-	m.cands = buildCandidates(c, cfg, m.useF, m.useT)
+	m := newSnapshotModel(c, cfg, alpha, beta, iters)
 
 	n := len(c.Users)
 	if got := int(r.u32()); r.err == nil && got != n {
@@ -601,18 +593,7 @@ func DecodeSnapshot(c *dataset.Corpus, rd io.Reader) (*Model, error) {
 	}
 
 	// Collapsed venue counts, rebuilt into whichever layout the config
-	// selects. venueSum is the per-city total of integer-valued counts,
-	// so summing reproduces the fitted model's incrementally maintained
-	// value exactly.
-	m.numVenues = c.Venues.Len()
-	m.deltaTotal = m.cfg.Delta * float64(m.numVenues)
-	L := c.Gaz.Len()
-	if m.cfg.PsiStore == PsiStoreOn {
-		m.ps = newPsiStore(m.numVenues)
-	} else {
-		m.venueCount = make([]map[gazetteer.VenueID]float64, L)
-	}
-	m.venueSum = make([]float64, L)
+	// selects.
 	nTriples := r.length(16)
 	for i := 0; i < nTriples; i++ {
 		v := int(r.u32())
@@ -621,21 +602,9 @@ func DecodeSnapshot(c *dataset.Corpus, rd io.Reader) (*Model, error) {
 		if r.err != nil {
 			return nil, r.err
 		}
-		if v >= m.numVenues || l >= L {
-			return nil, fmt.Errorf("core: snapshot venue count (%d, %d) out of range", v, l)
+		if err := m.addVenueTriple(v, l, cnt); err != nil {
+			return nil, err
 		}
-		if cnt <= 0 || cnt != math.Trunc(cnt) {
-			return nil, fmt.Errorf("core: snapshot venue count (%d, %d) = %v is not a positive integer", v, l, cnt)
-		}
-		if m.ps != nil {
-			m.ps.add(gazetteer.VenueID(v), gazetteer.CityID(l), cnt)
-		} else {
-			if m.venueCount[l] == nil {
-				m.venueCount[l] = make(map[gazetteer.VenueID]float64, 8)
-			}
-			m.venueCount[l][gazetteer.VenueID(v)] += cnt
-		}
-		m.venueSum[l] += cnt
 	}
 
 	m.initRandomModels()
@@ -649,9 +618,13 @@ func DecodeSnapshot(c *dataset.Corpus, rd io.Reader) (*Model, error) {
 	return m, nil
 }
 
-// LoadSnapshot reads a snapshot file written by SaveSnapshot and
-// reconstructs the fitted model against the given corpus.
+// LoadSnapshot reads a snapshot written by SaveSnapshot (a single file)
+// or SaveShardedSnapshot (a directory; routed to LoadShardedSnapshot)
+// and reconstructs the fitted model against the given corpus.
 func LoadSnapshot(c *dataset.Corpus, path string) (*Model, error) {
+	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+		return LoadShardedSnapshot(c, path)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err

@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"math"
+	"os"
 	"strings"
 	"testing"
 
@@ -293,5 +294,121 @@ func TestSnapshotVariants(t *testing.T) {
 			t.Fatalf("%v: %v", v, err)
 		}
 		requireReadEquality(t, m, loaded, &d.Corpus)
+	}
+}
+
+// TestShardedSnapshotRoundTrip: a model fitted with Shards=4 saved as a
+// sharded directory and loaded back (via the LoadSnapshot directory
+// route) must reproduce every readout bit for bit, under both boundary
+// protocols and both count layouts.
+func TestShardedSnapshotRoundTrip(t *testing.T) {
+	d, err := synth.Generate(*goldenWorld(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name  string
+		stale bool
+		psi   PsiStoreMode
+	}{
+		{"sync/psi=venue", false, PsiStoreOn},
+		{"stale/psi=map", true, PsiStoreOff},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			cfg := goldenCfg()
+			cfg.Shards = 4
+			cfg.StaleBoundary = mode.stale
+			cfg.PsiStore = mode.psi
+			m, err := Fit(&d.Corpus, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dir := t.TempDir() + "/snap"
+			if err := m.SaveShardedSnapshot(dir); err != nil {
+				t.Fatal(err)
+			}
+			loaded, err := LoadSnapshot(&d.Corpus, dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireReadEquality(t, m, loaded, &d.Corpus)
+		})
+	}
+}
+
+// TestShardedSnapshotRejectsTampering: a sharded directory must refuse
+// to load when the manifest hash disagrees, a slice file is missing, a
+// byte is flipped, or a slice file is dropped into the whole-model
+// loader.
+func TestShardedSnapshotRejectsTampering(t *testing.T) {
+	d, err := synth.Generate(synth.Config{Seed: 11, NumUsers: 150, NumLocations: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Fit(&d.Corpus, Config{Seed: 3, Iterations: 4, Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir() + "/snap"
+	if err := m.SaveShardedSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSnapshot(&d.Corpus, dir); err != nil {
+		t.Fatalf("pristine sharded snapshot failed to load: %v", err)
+	}
+
+	shard1 := dir + "/shard-001.mlpsnap"
+	raw, err := os.ReadFile(shard1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A slice file is not a whole-model snapshot.
+	if _, err := LoadSnapshot(&d.Corpus, shard1); err == nil {
+		t.Error("slice file loaded as a whole-model snapshot")
+	} else if !strings.Contains(err.Error(), "directory") {
+		t.Errorf("slice-file error %q does not point at the directory", err)
+	}
+
+	// Flip one byte: the manifest hash catches it before decoding.
+	flipped := append([]byte(nil), raw...)
+	flipped[len(flipped)/2] ^= 0x40
+	if err := os.WriteFile(shard1, flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSnapshot(&d.Corpus, dir); err == nil {
+		t.Error("bit-flipped shard loaded successfully")
+	} else if !strings.Contains(err.Error(), "manifest") {
+		t.Errorf("corruption error %q does not mention the manifest", err)
+	}
+
+	// Remove the slice file entirely.
+	if err := os.Remove(shard1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSnapshot(&d.Corpus, dir); err == nil {
+		t.Error("snapshot with a missing shard loaded successfully")
+	}
+	if err := os.WriteFile(shard1, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Manifest shard count that disagrees with the files.
+	manifest := dir + "/manifest.json"
+	if err := os.WriteFile(manifest, []byte(`{"version":1,"shard_count":2,"files":[]}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSnapshot(&d.Corpus, dir); err == nil {
+		t.Error("inconsistent manifest loaded successfully")
+	}
+
+	// Unsupported manifest version.
+	if err := os.WriteFile(manifest, []byte(`{"version":9,"shard_count":3,"files":[]}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSnapshot(&d.Corpus, dir); err == nil {
+		t.Error("future-versioned manifest loaded successfully")
+	} else if !strings.Contains(err.Error(), "version") {
+		t.Errorf("version error %q does not mention the version", err)
 	}
 }

@@ -1,0 +1,102 @@
+package dataset
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"io"
+	"math"
+
+	"mlprofile/internal/gazetteer"
+)
+
+// FingerprintSection names one fingerprinted slice of the world, in
+// encoding order. Separate section hashes let a mismatch error say *what*
+// differs (a swapped gazetteer vs. an edited edge list).
+type FingerprintSection int
+
+const (
+	SectionGazetteer FingerprintSection = iota
+	SectionVenues
+	SectionUsers
+	SectionEdges
+	SectionTweets
+	NumFingerprintSections
+)
+
+func (s FingerprintSection) String() string {
+	switch s {
+	case SectionGazetteer:
+		return "gazetteer"
+	case SectionVenues:
+		return "venue vocabulary"
+	case SectionUsers:
+		return "user labels"
+	case SectionEdges:
+		return "following relationships"
+	default:
+		return "tweeting relationships"
+	}
+}
+
+// Fingerprint hashes each model-relevant section of the corpus: gazetteer
+// geometry, venue vocabulary, user home labels, and both relationship
+// sets. Handles and raw registered strings are deliberately excluded —
+// they never enter inference, so renaming a user must not invalidate a
+// model snapshot fitted against the corpus. Two corpora with equal
+// fingerprints are interchangeable as far as the model is concerned,
+// which is also what makes the fingerprint the equality criterion for
+// the streamed and shard-merged load paths (stream_test.go).
+func Fingerprint(c *Corpus) [NumFingerprintSections][sha256.Size]byte {
+	var out [NumFingerprintSections][sha256.Size]byte
+	var b [8]byte
+	u64 := func(h io.Writer, v uint64) {
+		binary.LittleEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	str := func(h io.Writer, s string) {
+		u64(h, uint64(len(s)))
+		io.WriteString(h, s)
+	}
+
+	h := sha256.New()
+	for _, city := range c.Gaz.Cities() {
+		str(h, city.Name)
+		str(h, city.State)
+		u64(h, math.Float64bits(city.Point.Lat))
+		u64(h, math.Float64bits(city.Point.Lon))
+		u64(h, uint64(city.Population))
+	}
+	h.Sum(out[SectionGazetteer][:0])
+
+	h = sha256.New()
+	for v := 0; v < c.Venues.Len(); v++ {
+		venue := c.Venues.Venue(gazetteer.VenueID(v))
+		str(h, venue.Name)
+		u64(h, uint64(len(venue.Locations)))
+		for _, l := range venue.Locations {
+			u64(h, uint64(l))
+		}
+	}
+	h.Sum(out[SectionVenues][:0])
+
+	h = sha256.New()
+	for _, u := range c.Users {
+		u64(h, uint64(int64(u.Home)))
+	}
+	h.Sum(out[SectionUsers][:0])
+
+	h = sha256.New()
+	for _, e := range c.Edges {
+		u64(h, uint64(e.From))
+		u64(h, uint64(e.To))
+	}
+	h.Sum(out[SectionEdges][:0])
+
+	h = sha256.New()
+	for _, t := range c.Tweets {
+		u64(h, uint64(t.User))
+		u64(h, uint64(t.Venue))
+	}
+	h.Sum(out[SectionTweets][:0])
+	return out
+}

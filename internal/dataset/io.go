@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -100,77 +101,51 @@ func (d *Dataset) Save(dir string) error {
 // Load reads a dataset previously written by Save. The venue vocabulary is
 // rebuilt deterministically from the gazetteer, and tweet venue names are
 // resolved against it. Loading validates the result.
+//
+// Load is a thin wrapper over the streaming reader (stream.go): it drains
+// every block into memory at once. LoadStreamed adds a counting pass for
+// exact-capacity allocation; both produce fingerprint-identical corpora.
 func Load(dir string) (*Dataset, error) {
-	cities, err := loadCities(filepath.Join(dir, citiesFile))
+	st, err := OpenStream(dir)
 	if err != nil {
 		return nil, err
 	}
-	gaz, err := gazetteer.New(cities)
-	if err != nil {
-		return nil, fmt.Errorf("dataset: %s: %w", citiesFile, err)
-	}
-	venues := gazetteer.BuildVenueVocab(gaz)
+	defer st.Close()
 
-	d := &Dataset{Corpus: Corpus{Gaz: gaz, Venues: venues}}
-
-	if err := readLines(filepath.Join(dir, usersFile), 4, func(lineNo int, f []string) error {
-		id, err := strconv.Atoi(f[0])
-		if err != nil || id != len(d.Corpus.Users) {
-			return fmt.Errorf("bad or out-of-order user id %q", f[0])
+	d := &Dataset{Corpus: Corpus{Gaz: st.Gazetteer(), Venues: st.Venues()}}
+	for {
+		block, err := st.NextUserBlock(d.Corpus.Users, streamBlockRows)
+		if err == io.EOF {
+			break
 		}
-		home := NoCity
-		if f[2] != "-" {
-			h, err := strconv.Atoi(f[2])
-			if err != nil {
-				return fmt.Errorf("bad home %q", f[2])
-			}
-			home = gazetteer.CityID(h)
-		}
-		d.Corpus.Users = append(d.Corpus.Users, User{
-			ID: UserID(id), Handle: f[1], Home: home, Registered: f[3],
-		})
-		return nil
-	}); err != nil {
-		return nil, err
-	}
-
-	if err := readLines(filepath.Join(dir, edgesFile), 2, func(lineNo int, f []string) error {
-		from, err1 := strconv.Atoi(f[0])
-		to, err2 := strconv.Atoi(f[1])
-		if err1 != nil || err2 != nil {
-			return fmt.Errorf("bad edge %q -> %q", f[0], f[1])
-		}
-		d.Corpus.Edges = append(d.Corpus.Edges, FollowEdge{From: UserID(from), To: UserID(to)})
-		return nil
-	}); err != nil {
-		return nil, err
-	}
-
-	if err := readLines(filepath.Join(dir, tweetsFile), 2, func(lineNo int, f []string) error {
-		u, err := strconv.Atoi(f[0])
 		if err != nil {
-			return fmt.Errorf("bad tweet user %q", f[0])
+			return nil, err
 		}
-		vid, ok := venues.ID(f[1])
-		if !ok {
-			return fmt.Errorf("unknown venue %q", f[1])
+		d.Corpus.Users = block
+	}
+	for {
+		block, err := st.NextEdgeBlock(d.Corpus.Edges, streamBlockRows)
+		if err == io.EOF {
+			break
 		}
-		d.Corpus.Tweets = append(d.Corpus.Tweets, TweetRel{User: UserID(u), Venue: vid})
-		return nil
-	}); err != nil {
+		if err != nil {
+			return nil, err
+		}
+		d.Corpus.Edges = block
+	}
+	for {
+		block, err := st.NextTweetBlock(d.Corpus.Tweets, streamBlockRows)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		d.Corpus.Tweets = block
+	}
+	if d.Truth, err = st.Truth(); err != nil {
 		return nil, err
 	}
-
-	if raw, err := os.ReadFile(filepath.Join(dir, truthFile)); err == nil {
-		var truth GroundTruth
-		if err := json.Unmarshal(raw, &truth); err != nil {
-			return nil, fmt.Errorf("dataset: %s: %w", truthFile, err)
-		}
-		d.Truth = &truth
-	} else if !os.IsNotExist(err) {
-		return nil, err
-	}
-
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
@@ -219,31 +194,27 @@ func writeLines(path string, fill func(*bufio.Writer) error) error {
 }
 
 // readLines parses a TSV file with exactly wantFields fields per line,
-// reporting the file and line number on error.
+// reporting the file and line number on error. It shares tsvScanner with
+// the streaming loader, so both paths get the explicit line-length cap
+// and the named ErrLineTooLong on overlong rows.
 func readLines(path string, wantFields int, handle func(int, []string) error) error {
-	f, err := os.Open(path)
+	sc, err := openTSV(path, wantFields)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := sc.Text()
-		if line == "" {
-			continue
+	defer sc.close()
+	for {
+		f, err := sc.next()
+		if err == io.EOF {
+			return nil
 		}
-		fields := strings.Split(line, "\t")
-		if len(fields) != wantFields {
-			return fmt.Errorf("dataset: %s:%d: %d fields, want %d", filepath.Base(path), lineNo, len(fields), wantFields)
+		if err != nil {
+			return err
 		}
-		if err := handle(lineNo, fields); err != nil {
-			return fmt.Errorf("dataset: %s:%d: %w", filepath.Base(path), lineNo, err)
+		if err := handle(sc.lineNo, f); err != nil {
+			return sc.errf(err)
 		}
 	}
-	return sc.Err()
 }
 
 // sanitize strips characters that would corrupt the TSV framing.

@@ -45,6 +45,13 @@ type Options struct {
 	// inside a multi-fold CV pass, whose folds already run concurrently
 	// (see foldWorkers).
 	Workers int
+	// Shards is the per-fit shard count handed to core.Config (default 1,
+	// the single-chain sampler; >1 runs the sharded pipeline and makes
+	// core ignore Workers).
+	Shards int
+	// StaleBoundary selects the Hogwild-style stale boundary protocol for
+	// sharded fits (ignored when Shards <= 1).
+	StaleBoundary bool
 	// DisableGibbsEM turns off the (α, β) refinement (on by default).
 	DisableGibbsEM bool
 	// DistTable selects the sampler's distance fast path (default on;
@@ -236,14 +243,16 @@ func (r *Runner) runFold(f int, test []dataset.UserID) (*foldResult, error) {
 		MethodMLP:  core.Full,
 	} {
 		cfg := core.Config{
-			Seed:       r.opts.Seed + 1000 + int64(f),
-			Iterations: r.opts.Iterations,
-			Variant:    variant,
-			Workers:    r.foldWorkers(),
-			GibbsEM:    !r.opts.DisableGibbsEM,
-			DistTable:  r.opts.DistTable,
-			PsiStore:   r.opts.PsiStore,
-			FusedDraw:  r.opts.FusedDraw,
+			Seed:          r.opts.Seed + 1000 + int64(f),
+			Iterations:    r.opts.Iterations,
+			Variant:       variant,
+			Workers:       r.foldWorkers(),
+			Shards:        r.opts.Shards,
+			StaleBoundary: r.opts.StaleBoundary,
+			GibbsEM:       !r.opts.DisableGibbsEM,
+			DistTable:     r.opts.DistTable,
+			PsiStore:      r.opts.PsiStore,
+			FusedDraw:     r.opts.FusedDraw,
 		}
 		if name == MethodMLP && f == 0 {
 			// Fig. 5: trace test accuracy across sweeps.
@@ -310,13 +319,15 @@ func (r *Runner) ensureFull() error {
 		return nil
 	}
 	m, err := core.Fit(&r.data.Corpus, core.Config{
-		Seed:       r.opts.Seed + 7777,
-		Iterations: r.opts.Iterations,
-		Workers:    r.opts.Workers,
-		GibbsEM:    !r.opts.DisableGibbsEM,
-		DistTable:  r.opts.DistTable,
-		PsiStore:   r.opts.PsiStore,
-		FusedDraw:  r.opts.FusedDraw,
+		Seed:          r.opts.Seed + 7777,
+		Iterations:    r.opts.Iterations,
+		Workers:       r.opts.Workers,
+		Shards:        r.opts.Shards,
+		StaleBoundary: r.opts.StaleBoundary,
+		GibbsEM:       !r.opts.DisableGibbsEM,
+		DistTable:     r.opts.DistTable,
+		PsiStore:      r.opts.PsiStore,
+		FusedDraw:     r.opts.FusedDraw,
 	})
 	if err != nil {
 		return err

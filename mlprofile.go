@@ -152,11 +152,17 @@ func Fit(c *Corpus, cfg ModelConfig) (*Model, error) { return core.Fit(c, cfg) }
 // fingerprint of the world it was fitted against. See DESIGN.md §10.
 func SaveModel(m *Model, path string) error { return m.SaveSnapshot(path) }
 
-// LoadModel reads a snapshot written by SaveModel and reconstructs the
-// fitted model against the given corpus — which must be the same world,
-// verified by fingerprint. The loaded model answers every readout
-// (profiles, explanations, venue probabilities) bit-for-bit identically
-// to the model that wrote the snapshot; it cannot resume sampling.
+// SaveShardedModel writes a fitted model as a sharded snapshot
+// directory — one slice file per ModelConfig.Shards shard plus a JSON
+// manifest — loadable by LoadModel. See DESIGN.md §11.
+func SaveShardedModel(m *Model, dir string) error { return m.SaveShardedSnapshot(dir) }
+
+// LoadModel reads a snapshot written by SaveModel (a file) or
+// SaveShardedModel (a directory) and reconstructs the fitted model
+// against the given corpus — which must be the same world, verified by
+// fingerprint. The loaded model answers every readout (profiles,
+// explanations, venue probabilities) bit-for-bit identically to the
+// model that wrote the snapshot; it cannot resume sampling.
 func LoadModel(c *Corpus, path string) (*Model, error) { return core.LoadSnapshot(c, path) }
 
 // ModelServer is the long-lived read-only HTTP serving layer over a
@@ -189,6 +195,23 @@ func BuildVenueVocab(g *Gazetteer) *VenueVocab { return gazetteer.BuildVenueVoca
 
 // LoadDataset reads a dataset directory written by (*Dataset).Save.
 func LoadDataset(dir string) (*Dataset, error) { return dataset.Load(dir) }
+
+// LoadDatasetStreamed reads a dataset directory through the chunked
+// streaming reader: identical result to LoadDataset, bounded peak
+// memory during the parse. See DESIGN.md §11.
+func LoadDatasetStreamed(dir string) (*Dataset, error) { return dataset.LoadStreamed(dir) }
+
+// WriteDatasetShards splits a dataset directory into per-shard
+// sub-corpora under outDir (shard assignment by stable user-id hash),
+// loadable individually or merged losslessly by LoadShardedDataset.
+func WriteDatasetShards(dir, outDir string, shards int) error {
+	return dataset.WriteShards(dir, outDir, shards)
+}
+
+// LoadShardedDataset merges a sharded corpus directory written by
+// WriteDatasetShards back into a single dataset, bit-identical to
+// loading the original directory.
+func LoadShardedDataset(outDir string) (*Dataset, error) { return dataset.LoadSharded(outDir) }
 
 // KFold partitions user IDs into k folds for cross validation.
 func KFold(n, k int, seed int64) [][]UserID { return dataset.KFold(n, k, seed) }
