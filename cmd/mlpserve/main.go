@@ -1,5 +1,5 @@
-// Command mlpserve is the long-lived serving daemon: it loads a dataset
-// directory and a fitted-model snapshot (written by mlptrain -snapshot)
+// Command mlpserve is the serving tier daemon: it loads a dataset
+// directory and fitted-model snapshots (written by mlptrain -snapshot)
 // once, then answers profile, explanation and venue-probability lookups
 // over HTTP until terminated — no refitting per invocation.
 //
@@ -7,28 +7,39 @@
 //
 //	mlpserve -snapshot model.mlp -data data/world -addr :8080
 //	mlpserve -snapshot model.mlp -data data/world -oneshot "/profile/42?top=3"
+//	mlpserve -snapshot model.snapdir -data data/world -router          # in-process shard backends
+//	mlpserve -data data/world -router -backends http://a:8080,http://b:8080
+//	mlpserve -snapshot model.snapdir -data data/world -shard 2         # one placement backend
+//	mlpserve -snapshot model.mlp -data data/world -bench -benchout BENCH_serve.json
 //
 // Endpoints:
 //
-//	GET /healthz                   liveness
-//	GET /stats                     corpus, model and process counters
-//	GET /profile/{user}?top=K      top-K location profile (ID or handle)
-//	GET /edge/{id}/explanation     MAP + sampled explanation of one edge
-//	GET /venue-prob?city=&venue=   collapsed venue probability ψ̂_l(v)
+//	GET  /healthz                   liveness
+//	GET  /stats                     corpus, model and per-endpoint counters
+//	GET  /profile/{user}?top=K      top-K location profile (ID or handle)
+//	POST /profiles                  bulk profile lookup {"users":[...],"top":K}
+//	GET  /edge/{id}/explanation     MAP + sampled explanation of one edge
+//	GET  /venue-prob?city=&venue=   collapsed venue probability ψ̂_l(v)
+//	POST /reload                    hot snapshot swap (also SIGHUP)
 //
 // -oneshot answers a single path in process and exits — the CI smoke leg
 // diffs it against a curl of the daemon to prove byte-identical serving.
-// The daemon shuts down gracefully on SIGINT/SIGTERM.
+// The daemon shuts down gracefully on SIGINT/SIGTERM and hot-swaps its
+// snapshot on SIGHUP or POST /reload.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
+	"time"
 
 	"mlprofile/internal/core"
 	"mlprofile/internal/dataset"
@@ -40,13 +51,24 @@ func main() {
 	log.SetPrefix("mlpserve: ")
 
 	var (
-		snapshot = flag.String("snapshot", "", "fitted-model snapshot written by mlptrain -snapshot (required)")
+		snapshot = flag.String("snapshot", "", "fitted-model snapshot written by mlptrain -snapshot (file or sharded directory)")
 		data     = flag.String("data", "", "dataset directory the model was fitted on (required)")
 		addr     = flag.String("addr", ":8080", "listen address")
 		oneshot  = flag.String("oneshot", "", "answer one API path in process and exit (no listener)")
+		cache    = flag.Int("cache", 0, "rendered-profile LRU entries per snapshot generation (0 = default, <0 = off)")
+
+		router   = flag.Bool("router", false, "shard-router mode: route by dataset.ShardOf across backends")
+		backends = flag.String("backends", "", "comma-separated backend base URLs for -router (empty = in-process shard backends from -snapshot)")
+		shard    = flag.Int("shard", -1, "serve one placement shard of a sharded snapshot directory")
+
+		bench        = flag.Bool("bench", false, "run the serve benchmark against the loaded handler and exit")
+		benchOut     = flag.String("benchout", "BENCH_serve.json", "serve benchmark output path")
+		benchDur     = flag.Duration("benchdur", 2*time.Second, "serve benchmark duration per endpoint cell")
+		benchConc    = flag.Int("benchconc", 0, "serve benchmark concurrency (0 = GOMAXPROCS)")
+		benchCompare = flag.String("benchcompare", "", "prior BENCH_serve.json to diff the fresh run against")
 	)
 	flag.Parse()
-	if *snapshot == "" || *data == "" {
+	if *data == "" || (*snapshot == "" && !(*router && *backends != "")) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -55,14 +77,51 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	m, err := core.LoadSnapshot(&d.Corpus, *snapshot)
-	if err != nil {
-		log.Fatal(err)
+
+	scfg := serve.Config{Snapshot: *snapshot, CacheSize: *cache, Logf: log.Printf}
+	var handler http.Handler
+	switch {
+	case *router && *backends != "":
+		bs, err := serve.ProxyBackends(strings.Split(*backends, ","))
+		if err != nil {
+			log.Fatal(err)
+		}
+		rt := serve.NewRouter(&d.Corpus, bs, log.Printf)
+		handler = rt.Handler()
+		log.Printf("routing %d users across %d remote backends", len(d.Corpus.Users), rt.Shards())
+	case *router:
+		rt, err := serve.NewShardRouter(&d.Corpus, *snapshot, scfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		handler = rt.Handler()
+		log.Printf("routing %d users across %d in-process shard backends of %s", len(d.Corpus.Users), rt.Shards(), *snapshot)
+	case *shard >= 0:
+		shards, err := core.SnapshotShardCount(*snapshot)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := core.LoadSnapshotShard(&d.Corpus, *snapshot, *shard)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pcfg := scfg
+		pcfg.Shard, pcfg.Shards = *shard, shards
+		handler = serve.NewServer(m, &d.Corpus, pcfg).Handler()
+		log.Printf("serving placement shard %d/%d of %s", *shard, shards, *snapshot)
+	default:
+		m, err := core.LoadSnapshot(&d.Corpus, *snapshot)
+		if err != nil {
+			log.Fatal(err)
+		}
+		handler = serve.NewServer(m, &d.Corpus, scfg).Handler()
+		alpha, beta := m.AlphaBeta()
+		log.Printf("model %s: %d iterations, alpha=%.3f beta=%.5f",
+			m.Config().Variant, m.Iterations(), alpha, beta)
 	}
-	s := serve.New(m, &d.Corpus)
 
 	if *oneshot != "" {
-		status, body, err := s.Oneshot(*oneshot)
+		status, body, err := serve.Oneshot(handler, *oneshot)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -73,21 +132,67 @@ func main() {
 		return
 	}
 
-	alpha, beta := m.AlphaBeta()
+	if *bench {
+		runBench(handler, &d.Corpus, *benchOut, *benchDur, *benchConc, *benchCompare)
+		return
+	}
+
 	log.Printf("loaded %s", d.Corpus.Stats())
-	log.Printf("model %s: %d iterations, alpha=%.3f beta=%.5f",
-		m.Config().Variant, m.Iterations(), alpha, beta)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// SIGHUP hot-swaps the snapshot through the same path POST /reload
+	// takes, whatever mode the handler is in (a router fans it out).
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			status, body := serve.Do(handler, http.MethodPost, "/reload", nil)
+			log.Printf("SIGHUP reload: status %d: %s", status, strings.TrimSpace(string(body)))
+		}
+	}()
+
 	ready := make(chan string, 1)
 	go func() {
 		if bound, ok := <-ready; ok {
 			log.Printf("serving on http://%s", bound)
 		}
 	}()
-	if err := s.ListenAndServe(ctx, *addr, ready); err != nil {
+	if err := serve.ListenAndServe(ctx, *addr, ready, handler); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("mlpserve: shut down cleanly")
+}
+
+// runBench runs the serve benchmark, writes the report, and prints the
+// delta against a prior report when asked.
+func runBench(handler http.Handler, c *dataset.Corpus, out string, dur time.Duration, conc int, compare string) {
+	rep := serve.Bench(handler, c, serve.BenchConfig{Duration: dur, Concurrency: conc})
+	for _, e := range rep.Endpoints {
+		log.Printf("%-16s %10.0f qps  p50 %7.3fms  p99 %7.3fms  (%d requests, %d errors)",
+			e.Name, e.QPS, e.P50Ms, e.P99Ms, e.Requests, e.Errors)
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", out)
+	if compare != "" {
+		raw, err := os.ReadFile(compare)
+		if err != nil {
+			log.Printf("compare: %v (skipping diff)", err)
+			return
+		}
+		var old serve.BenchReport
+		if err := json.Unmarshal(raw, &old); err != nil {
+			log.Printf("compare: %s: %v (skipping diff)", compare, err)
+			return
+		}
+		serve.CompareBenchReports(&old, rep, log.Printf)
+	}
 }

@@ -247,14 +247,54 @@ func (m *Model) SaveShardedSnapshot(dir string) error {
 // SHA-256, embedded trailer checksum, world fingerprint — and all
 // shards must agree on the config and posterior scalars.
 func LoadShardedSnapshot(c *dataset.Corpus, dir string) (*Model, error) {
-	m, err := loadShardedSnapshot(c, dir)
+	m, err := loadShardedSnapshot(c, dir, -1)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", dir, err)
 	}
 	return m, nil
 }
 
-func loadShardedSnapshot(c *dataset.Corpus, dir string) (*Model, error) {
+// LoadSnapshotShard reads exactly one slice file of a sharded snapshot
+// directory and scatters it into an otherwise-empty model: the unit of
+// placement for a serving tier that spreads a fitted model across
+// per-shard backends (DESIGN.md §12). The returned model carries full
+// fitted state only for the users/edges/tweets dataset.ShardOf assigns
+// to the given shard — Profile reads for owned users are bit-identical
+// to a full load, while state the shard does not own is zero-valued.
+// Callers (the serve router's partial backends) must therefore gate
+// every readout on ShardOf ownership.
+func LoadSnapshotShard(c *dataset.Corpus, dir string, shard int) (*Model, error) {
+	if shard < 0 {
+		return nil, fmt.Errorf("%s: shard index %d out of range", dir, shard)
+	}
+	m, err := loadShardedSnapshot(c, dir, shard)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", dir, err)
+	}
+	return m, nil
+}
+
+// SnapshotShardCount reads a sharded snapshot directory's manifest and
+// returns how many shard slices it holds, without loading any of them.
+func SnapshotShardCount(dir string) (int, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, snapshotManifestFile))
+	if err != nil {
+		return 0, err
+	}
+	var man snapshotManifest
+	if err := json.Unmarshal(raw, &man); err != nil {
+		return 0, fmt.Errorf("core: sharded snapshot manifest: %w", err)
+	}
+	if man.ShardCount < 1 {
+		return 0, fmt.Errorf("core: sharded snapshot manifest declares %d shards", man.ShardCount)
+	}
+	return man.ShardCount, nil
+}
+
+// loadShardedSnapshot decodes a sharded snapshot directory. only selects
+// a single slice to decode (partial placement load); only = -1 decodes
+// every slice into the complete model.
+func loadShardedSnapshot(c *dataset.Corpus, dir string, only int) (*Model, error) {
 	raw, err := os.ReadFile(filepath.Join(dir, snapshotManifestFile))
 	if err != nil {
 		return nil, err
@@ -269,6 +309,9 @@ func loadShardedSnapshot(c *dataset.Corpus, dir string) (*Model, error) {
 	if man.ShardCount < 1 || len(man.Files) != man.ShardCount {
 		return nil, fmt.Errorf("core: sharded snapshot manifest lists %d files for %d shards", len(man.Files), man.ShardCount)
 	}
+	if only >= man.ShardCount {
+		return nil, fmt.Errorf("core: shard %d out of range: directory holds %d shards", only, man.ShardCount)
+	}
 
 	if err := c.Validate(); err != nil {
 		return nil, err
@@ -278,6 +321,9 @@ func loadShardedSnapshot(c *dataset.Corpus, dir string) (*Model, error) {
 	var m *Model
 	var confRef []byte
 	for s, entry := range man.Files {
+		if only >= 0 && s != only {
+			continue
+		}
 		if filepath.Base(entry.Name) != entry.Name {
 			return nil, fmt.Errorf("core: sharded snapshot manifest names %q outside the snapshot directory", entry.Name)
 		}
@@ -326,7 +372,7 @@ func loadShardedSnapshot(c *dataset.Corpus, dir string) (*Model, error) {
 			return nil, r.err
 		}
 		conf := payload[confStart:r.off]
-		if s == 0 {
+		if m == nil {
 			if err := cfg.validate(); err != nil {
 				return nil, fmt.Errorf("core: snapshot config invalid: %w", err)
 			}

@@ -412,3 +412,62 @@ func TestShardedSnapshotRejectsTampering(t *testing.T) {
 		t.Errorf("version error %q does not mention the version", err)
 	}
 }
+
+// TestLoadSnapshotShard: one slice of a sharded snapshot loaded alone
+// (the serving tier's partial-backend path) answers every ShardOf-owned
+// user's profile bit-identically to the full model, SnapshotShardCount
+// reports the manifest's count without decoding slices, and out-of-range
+// shard indices are refused.
+func TestLoadSnapshotShard(t *testing.T) {
+	const shards = 3
+	d, err := synth.Generate(synth.Config{Seed: 13, NumUsers: 120, NumLocations: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Fit(&d.Corpus, Config{Seed: 7, Iterations: 3, Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir() + "/snap"
+	if err := m.SaveShardedSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	if n, err := SnapshotShardCount(dir); err != nil || n != shards {
+		t.Fatalf("SnapshotShardCount = %d, %v; want %d", n, err, shards)
+	}
+
+	for s := 0; s < shards; s++ {
+		part, err := LoadSnapshotShard(&d.Corpus, dir, s)
+		if err != nil {
+			t.Fatalf("shard %d: %v", s, err)
+		}
+		owned := 0
+		for u := range d.Corpus.Users {
+			if dataset.ShardOf(dataset.UserID(u), shards) != s {
+				continue
+			}
+			owned++
+			want := m.Profile(dataset.UserID(u))
+			got := part.Profile(dataset.UserID(u))
+			if len(want) != len(got) {
+				t.Fatalf("shard %d user %d: profile length %d vs %d", s, u, len(want), len(got))
+			}
+			for i := range want {
+				if want[i].City != got[i].City || math.Float64bits(want[i].Weight) != math.Float64bits(got[i].Weight) {
+					t.Fatalf("shard %d user %d entry %d: %v vs %v", s, u, i, want[i], got[i])
+				}
+			}
+		}
+		if owned == 0 {
+			t.Errorf("shard %d owns no users — placement fixture too small", s)
+		}
+	}
+
+	if _, err := LoadSnapshotShard(&d.Corpus, dir, -1); err == nil {
+		t.Error("negative shard index accepted")
+	}
+	if _, err := LoadSnapshotShard(&d.Corpus, dir, shards); err == nil {
+		t.Error("out-of-range shard index accepted")
+	}
+}

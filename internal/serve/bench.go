@@ -1,0 +1,200 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mlprofile/internal/dataset"
+)
+
+// The serve benchmark (mlpserve -bench, DESIGN.md §12): drives the
+// serving handler in process — no sockets, so the numbers isolate the
+// serving logic the tier owns — one endpoint cell at a time, from
+// Concurrency goroutines for Duration each, and reports per-endpoint
+// QPS plus p50/p99 from the same log2-µs histogram /stats uses. The
+// report lands in BENCH_serve.json next to BENCH_sampler.json, under
+// the same committed bench-compare discipline.
+
+// BenchConfig tunes one benchmark run.
+type BenchConfig struct {
+	Duration    time.Duration // per endpoint cell; default 2s
+	Concurrency int           // default GOMAXPROCS
+	BulkSize    int           // users per /profiles batch; default 64
+}
+
+// BenchEndpoint is one measured endpoint cell.
+type BenchEndpoint struct {
+	Name     string  `json:"name"`
+	Requests int64   `json:"requests"`
+	Errors   int64   `json:"errors"`
+	QPS      float64 `json:"qps"`
+	P50Ms    float64 `json:"p50_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+}
+
+// BenchReport is the emitted JSON document.
+type BenchReport struct {
+	Generated   string          `json:"generated"`
+	GoVersion   string          `json:"go_version"`
+	GOMAXPROCS  int             `json:"gomaxprocs"`
+	Users       int             `json:"users"`
+	Edges       int             `json:"edges"`
+	Concurrency int             `json:"concurrency"`
+	CellSeconds float64         `json:"cell_seconds"`
+	BulkSize    int             `json:"bulk_size"`
+	Endpoints   []BenchEndpoint `json:"endpoints"`
+}
+
+// benchCell drives one request shape until the deadline from every
+// worker; mkReq(i) builds the i-th request of a worker's loop.
+func benchCell(h http.Handler, name string, cfg BenchConfig, mkReq func(i int) (method, path string, body []byte)) BenchEndpoint {
+	var (
+		requests atomic.Int64
+		errs     atomic.Int64
+		totalBkt [latBuckets]atomic.Int64
+	)
+	deadline := time.Now().Add(cfg.Duration)
+	var wg sync.WaitGroup
+	for g := 0; g < cfg.Concurrency; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; time.Now().Before(deadline); i += cfg.Concurrency {
+				method, path, body := mkReq(i)
+				start := time.Now()
+				status, _ := Do(h, method, path, body)
+				totalBkt[latBucket(time.Since(start))].Add(1)
+				requests.Add(1)
+				if status >= 400 {
+					errs.Add(1)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	var buckets [latBuckets]int64
+	var total int64
+	for b := range buckets {
+		buckets[b] = totalBkt[b].Load()
+		total += buckets[b]
+	}
+	n := requests.Load()
+	out := BenchEndpoint{
+		Name:     name,
+		Requests: n,
+		Errors:   errs.Load(),
+		P50Ms:    snapshotQuantile(&buckets, total, 0.50),
+		P99Ms:    snapshotQuantile(&buckets, total, 0.99),
+	}
+	if secs := cfg.Duration.Seconds(); secs > 0 {
+		out.QPS = float64(n) / secs
+	}
+	return out
+}
+
+// Bench measures the handler across the serving endpoint cells and
+// returns the report. The corpus supplies the id spaces the request
+// generators cycle over deterministically (no RNG — runs are
+// shape-stable across boxes).
+func Bench(h http.Handler, c *dataset.Corpus, cfg BenchConfig) *BenchReport {
+	if cfg.Duration <= 0 {
+		cfg.Duration = 2 * time.Second
+	}
+	if cfg.Concurrency < 1 {
+		cfg.Concurrency = runtime.GOMAXPROCS(0)
+	}
+	if cfg.BulkSize < 1 {
+		cfg.BulkSize = 64
+	}
+	nUsers := len(c.Users)
+	nEdges := len(c.Edges)
+
+	rep := &BenchReport{
+		Generated:   time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Users:       nUsers,
+		Edges:       nEdges,
+		Concurrency: cfg.Concurrency,
+		CellSeconds: cfg.Duration.Seconds(),
+		BulkSize:    cfg.BulkSize,
+	}
+
+	// profile: cycle the whole user space — after the first lap this
+	// measures the steady-state mix the cache reaches at this bound.
+	rep.Endpoints = append(rep.Endpoints, benchCell(h, "profile", cfg,
+		func(i int) (string, string, []byte) {
+			return http.MethodGet, fmt.Sprintf("/profile/%d?top=3", i%nUsers), nil
+		}))
+
+	// profile_hot: one user — the pure cache-hit fast path.
+	rep.Endpoints = append(rep.Endpoints, benchCell(h, "profile_hot", cfg,
+		func(i int) (string, string, []byte) {
+			return http.MethodGet, "/profile/0?top=3", nil
+		}))
+
+	// profiles_bulk: batches of BulkSize users, cycling the id space.
+	rep.Endpoints = append(rep.Endpoints, benchCell(h, "profiles_bulk", cfg,
+		func(i int) (string, string, []byte) {
+			users := make([]json.RawMessage, cfg.BulkSize)
+			for j := range users {
+				users[j] = json.RawMessage(strconv.Itoa((i*cfg.BulkSize + j) % nUsers))
+			}
+			body, _ := json.Marshal(bulkRequestJSON{Users: users, Top: 3})
+			return http.MethodPost, "/profiles", body
+		}))
+
+	if nEdges > 0 {
+		rep.Endpoints = append(rep.Endpoints, benchCell(h, "edge", cfg,
+			func(i int) (string, string, []byte) {
+				return http.MethodGet, fmt.Sprintf("/edge/%d/explanation", i%nEdges), nil
+			}))
+	}
+
+	rep.Endpoints = append(rep.Endpoints, benchCell(h, "venue-prob", cfg,
+		func(i int) (string, string, []byte) {
+			return http.MethodGet, "/venue-prob?city=0&venue=0", nil
+		}))
+
+	rep.Endpoints = append(rep.Endpoints, benchCell(h, "stats", cfg,
+		func(i int) (string, string, []byte) {
+			return http.MethodGet, "/stats", nil
+		}))
+
+	return rep
+}
+
+// CompareBenchReports prints per-endpoint deltas between a prior
+// BENCH_serve.json and a fresh run — the serving arm of the committed
+// bench-compare discipline. Informational only, like mlpbench -compare.
+func CompareBenchReports(old, fresh *BenchReport, logf func(format string, args ...any)) {
+	oldByName := make(map[string]BenchEndpoint, len(old.Endpoints))
+	for _, e := range old.Endpoints {
+		oldByName[e.Name] = e
+	}
+	logf("compare (generated %s, %s → %s, %s):", old.Generated, old.GoVersion, fresh.Generated, fresh.GoVersion)
+	for _, e := range fresh.Endpoints {
+		o, ok := oldByName[e.Name]
+		if !ok {
+			logf("  %-16s %10.0f qps  p99 %6.3fms  (new cell)", e.Name, e.QPS, e.P99Ms)
+			continue
+		}
+		delete(oldByName, e.Name)
+		ratio := 0.0
+		if o.QPS > 0 {
+			ratio = e.QPS / o.QPS
+		}
+		logf("  %-16s %10.0f qps -> %10.0f qps (%0.2fx)   p99 %6.3fms -> %6.3fms",
+			e.Name, o.QPS, e.QPS, ratio, o.P99Ms, e.P99Ms)
+	}
+	for name := range oldByName {
+		logf("  %-16s (cell gone)", name)
+	}
+}

@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"sync"
+
+	"mlprofile/internal/dataset"
+)
+
+// lruCache bounds the rendered top-K profile readouts one snapshot
+// generation keeps hot (DESIGN.md §12). It is deliberately per-state:
+// a hot snapshot swap installs a fresh cache, which is the entire
+// invalidation protocol — no keys to version, nothing to flush.
+//
+// Values are the exact marshaled response bytes, so cached and uncached
+// lookups are byte-identical on the wire.
+
+// cacheKey identifies one rendered readout: the resolved dense user id
+// and the (already clamped) top-K cut.
+type cacheKey struct {
+	user dataset.UserID
+	top  int
+}
+
+type lruEntry struct {
+	key        cacheKey
+	body       []byte
+	prev, next *lruEntry
+}
+
+type lruCache struct {
+	mu         sync.Mutex
+	max        int
+	entries    map[cacheKey]*lruEntry
+	head, tail *lruEntry // head = most recent
+}
+
+// newLRUCache returns a cache bounded to max entries; max < 1 returns
+// nil, which every caller treats as caching disabled.
+func newLRUCache(max int) *lruCache {
+	if max < 1 {
+		return nil
+	}
+	return &lruCache{max: max, entries: make(map[cacheKey]*lruEntry, max)}
+}
+
+func (c *lruCache) unlink(e *lruEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *lruCache) pushFront(e *lruEntry) {
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+// get returns the cached body and refreshes the entry's recency.
+func (c *lruCache) get(k cacheKey) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[k]
+	if !ok {
+		return nil, false
+	}
+	if c.head != e {
+		c.unlink(e)
+		c.pushFront(e)
+	}
+	return e.body, true
+}
+
+// put inserts or refreshes an entry, evicting from the cold end past max.
+func (c *lruCache) put(k cacheKey, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[k]; ok {
+		e.body = body
+		if c.head != e {
+			c.unlink(e)
+			c.pushFront(e)
+		}
+		return
+	}
+	e := &lruEntry{key: k, body: body}
+	c.entries[k] = e
+	c.pushFront(e)
+	for len(c.entries) > c.max {
+		cold := c.tail
+		c.unlink(cold)
+		delete(c.entries, cold.key)
+	}
+}
+
+// len reports the live entry count (test hook).
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

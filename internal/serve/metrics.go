@@ -1,0 +1,219 @@
+package serve
+
+import (
+	"math/bits"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Per-endpoint serving metrics (DESIGN.md §12): every request through
+// the instrument middleware is attributed to one fixed endpoint slot and
+// lands in lock-free atomic counters plus a log2-microsecond latency
+// histogram, from which /stats and the serve benchmark derive QPS, p50
+// and p99 without retaining per-request state.
+
+// Endpoint slots. epOther absorbs everything the mux does not match, so
+// 404s show up in the request and error counters instead of vanishing.
+const (
+	epHealthz = iota
+	epStats
+	epProfile
+	epProfiles
+	epEdge
+	epVenueProb
+	epReload
+	epOther
+	numEndpoints
+)
+
+var endpointNames = [numEndpoints]string{
+	"healthz", "stats", "profile", "profiles", "edge", "venue-prob", "reload", "other",
+}
+
+// latBuckets is the histogram width: bucket b counts requests with
+// latency in [2^(b-1), 2^b) microseconds (bucket 0 is sub-microsecond),
+// so 40 buckets cover through ~18 minutes — far past any timeout.
+const latBuckets = 40
+
+// latBucket maps a duration to its histogram slot.
+func latBucket(d time.Duration) int {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	b := bits.Len64(uint64(us))
+	if b >= latBuckets {
+		b = latBuckets - 1
+	}
+	return b
+}
+
+// latBucketUpperMs is the bucket's inclusive upper bound in milliseconds
+// — the value quantile readouts report.
+func latBucketUpperMs(b int) float64 {
+	return float64(uint64(1)<<uint(b)) / 1000
+}
+
+// endpointCounters is one endpoint's slot. All fields are atomics; the
+// struct is only ever addressed inside the fixed metrics array, so there
+// is no allocation or locking on the request path.
+type endpointCounters struct {
+	requests atomic.Int64
+	errors   atomic.Int64
+	totalNs  atomic.Int64
+	buckets  [latBuckets]atomic.Int64
+}
+
+// snapshotQuantile returns the q-quantile (0 < q <= 1) latency in
+// milliseconds from a bucket snapshot, as the matched bucket's upper
+// bound; 0 when the histogram is empty.
+func snapshotQuantile(buckets *[latBuckets]int64, total int64, q float64) float64 {
+	if total <= 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for b := 0; b < latBuckets; b++ {
+		seen += buckets[b]
+		if seen >= rank {
+			return latBucketUpperMs(b)
+		}
+	}
+	return latBucketUpperMs(latBuckets - 1)
+}
+
+// metrics is the full per-process counter set shared by a Server or
+// Router and every Handler() it hands out.
+type metrics struct {
+	endpoints [numEndpoints]endpointCounters
+
+	// encodeFailures counts responses whose JSON encoding failed mid-
+	// write (client gone, sink full): the status line already left, so
+	// these surface only here and in the log.
+	encodeFailures atomic.Int64
+
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+}
+
+// observe records one finished request.
+func (m *metrics) observe(ep int, d time.Duration, status int) {
+	c := &m.endpoints[ep]
+	if status >= 400 {
+		c.errors.Add(1)
+	}
+	c.totalNs.Add(d.Nanoseconds())
+	c.buckets[latBucket(d)].Add(1)
+}
+
+// totals sums requests and errors across all endpoints; errors include
+// encode failures, which have no status of their own.
+func (m *metrics) totals() (requests, errs int64) {
+	for i := range m.endpoints {
+		requests += m.endpoints[i].requests.Load()
+		errs += m.endpoints[i].errors.Load()
+	}
+	return requests, errs + m.encodeFailures.Load()
+}
+
+// endpointStatsJSON is the /stats wire form of one endpoint's counters.
+type endpointStatsJSON struct {
+	Requests int64   `json:"requests"`
+	Errors   int64   `json:"errors"`
+	QPS      float64 `json:"qps"`
+	AvgMs    float64 `json:"avg_ms"`
+	P50Ms    float64 `json:"p50_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+}
+
+// endpointStats renders the non-empty endpoints for /stats. uptime
+// scales the QPS readout.
+func (m *metrics) endpointStats(uptime time.Duration) map[string]endpointStatsJSON {
+	out := make(map[string]endpointStatsJSON, numEndpoints)
+	secs := uptime.Seconds()
+	for i := range m.endpoints {
+		c := &m.endpoints[i]
+		n := c.requests.Load()
+		if n == 0 {
+			continue
+		}
+		var buckets [latBuckets]int64
+		var total int64
+		for b := range buckets {
+			buckets[b] = c.buckets[b].Load()
+			total += buckets[b]
+		}
+		st := endpointStatsJSON{
+			Requests: n,
+			Errors:   c.errors.Load(),
+			AvgMs:    float64(c.totalNs.Load()) / float64(n) / 1e6,
+			P50Ms:    snapshotQuantile(&buckets, total, 0.50),
+			P99Ms:    snapshotQuantile(&buckets, total, 0.99),
+		}
+		if secs > 0 {
+			st.QPS = float64(n) / secs
+		}
+		out[endpointNames[i]] = st
+	}
+	return out
+}
+
+// statusWriter captures the response status and the endpoint slot the
+// matched route claims, so the outer middleware can attribute the
+// request after the mux has dispatched it.
+type statusWriter struct {
+	http.ResponseWriter
+	status   int
+	endpoint int
+	metrics  *metrics
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// route tags the request's statusWriter with the endpoint slot and
+// moves the provisional request count there before running the handler,
+// so an in-flight request is visible under its own endpoint (an
+// in-flight /stats counts itself). Requests the mux never matches keep
+// the epOther tag the middleware seeded.
+func route(ep int, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if sw, ok := w.(*statusWriter); ok && sw.endpoint != ep {
+			sw.metrics.endpoints[sw.endpoint].requests.Add(-1)
+			sw.metrics.endpoints[ep].requests.Add(1)
+			sw.endpoint = ep
+		}
+		h(w, r)
+	}
+}
+
+// instrument wraps the whole mux — matched routes and 404s alike — in
+// the counting middleware: the request counter moves before dispatch
+// (so an in-flight /stats sees itself), status and latency land after.
+func instrument(m *metrics, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, endpoint: epOther, metrics: m}
+		start := time.Now()
+		m.endpoints[epOther].requests.Add(1) // provisional; route() reattributes
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		m.observe(sw.endpoint, time.Since(start), sw.status)
+	})
+}

@@ -1,0 +1,323 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"mlprofile/internal/core"
+	"mlprofile/internal/dataset"
+)
+
+// Router is the shard-routing front of the serving tier (DESIGN.md
+// §12): it owns no model, only the corpus, and consistent-hashes every
+// user-scoped request via dataset.ShardOf — the same pure placement
+// function the sharded fitter and sharded snapshots use — onto one
+// backend per shard. Backends are plain http.Handlers, so the same
+// router fronts in-process partial-slice servers (one LoadSnapshotShard
+// model per shard, NewShardRouter) and remote mlpserve processes
+// (reverse proxies, ProxyBackends) identically.
+//
+// Routing rules:
+//
+//	/profile/{user}   → ShardOf(resolved user)
+//	/profiles         → split by owner, fanned out, merged in order
+//	/edge/{id}/...    → ShardOf(edge.From) — the edge's owning shard
+//	/venue-prob       → shard 0 (venue counts are not user-placed)
+//	/reload           → every backend; ok only if all swap
+//	/healthz, /stats  → answered by the router itself
+type Router struct {
+	corpus   *dataset.Corpus
+	byHandle map[string]dataset.UserID
+	backends []http.Handler
+
+	started time.Time
+	metrics *metrics
+	logf    func(format string, args ...any)
+}
+
+// NewRouter builds a router over one backend handler per shard.
+// Backend index s must serve the users dataset.ShardOf assigns to shard
+// s of len(backends).
+func NewRouter(c *dataset.Corpus, backends []http.Handler, logf func(format string, args ...any)) *Router {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	rt := &Router{
+		corpus:   c,
+		byHandle: make(map[string]dataset.UserID, len(c.Users)),
+		backends: backends,
+		started:  time.Now(),
+		metrics:  &metrics{},
+		logf:     logf,
+	}
+	for _, u := range c.Users {
+		rt.byHandle[u.Handle] = u.ID
+	}
+	return rt
+}
+
+// NewShardRouter loads every slice of a sharded snapshot directory
+// (written by SaveShardedSnapshot) as an in-process partial backend and
+// fronts them with a router: the single-binary form of the routed tier.
+// Each backend holds only its shard's fitted state, so the whole
+// directory is served with per-shard placement exactly as a multi-
+// process deployment would, and POST /reload re-reads each slice.
+func NewShardRouter(c *dataset.Corpus, snapshotDir string, cfg Config) (*Router, error) {
+	shards, err := core.SnapshotShardCount(snapshotDir)
+	if err != nil {
+		return nil, err
+	}
+	backends := make([]http.Handler, shards)
+	for s := 0; s < shards; s++ {
+		m, err := core.LoadSnapshotShard(c, snapshotDir, s)
+		if err != nil {
+			return nil, fmt.Errorf("shard backend %d: %w", s, err)
+		}
+		scfg := cfg
+		scfg.Snapshot = snapshotDir
+		scfg.Shard, scfg.Shards = s, shards
+		backends[s] = NewServer(m, c, scfg).Handler()
+	}
+	return NewRouter(c, backends, cfg.Logf), nil
+}
+
+// ProxyBackends builds reverse-proxy backends from base URLs (one per
+// shard, in shard order) for fronting remote mlpserve processes.
+func ProxyBackends(rawURLs []string) ([]http.Handler, error) {
+	out := make([]http.Handler, len(rawURLs))
+	for i, raw := range rawURLs {
+		u, err := url.Parse(strings.TrimSpace(raw))
+		if err != nil {
+			return nil, fmt.Errorf("backend %d: %w", i, err)
+		}
+		if u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("backend %d: %q is not an absolute URL", i, raw)
+		}
+		out[i] = httputil.NewSingleHostReverseProxy(u)
+	}
+	return out, nil
+}
+
+// Shards returns the backend count.
+func (rt *Router) Shards() int { return len(rt.backends) }
+
+// Handler returns the routing mux wrapped in the same counting
+// middleware the per-shard servers use.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", route(epHealthz, rt.handleHealthz))
+	mux.HandleFunc("GET /stats", route(epStats, rt.handleStats))
+	mux.HandleFunc("GET /profile/{user}", route(epProfile, rt.handleProfile))
+	mux.HandleFunc("POST /profiles", route(epProfiles, rt.handleProfiles))
+	mux.HandleFunc("GET /edge/{id}/explanation", route(epEdge, rt.handleEdge))
+	mux.HandleFunc("GET /venue-prob", route(epVenueProb, rt.handleVenueProb))
+	mux.HandleFunc("POST /reload", route(epReload, rt.handleReload))
+	return instrument(rt.metrics, mux)
+}
+
+// ListenAndServe runs the router on addr with the tier's lifecycle
+// contract (graceful drain, ready close on all paths).
+func (rt *Router) ListenAndServe(ctx context.Context, addr string, ready chan<- string) error {
+	return ListenAndServe(ctx, addr, ready, rt.Handler())
+}
+
+func (rt *Router) writeJSON(w http.ResponseWriter, status int, v any) {
+	writeJSON(w, status, v, rt.metrics, rt.logf)
+}
+
+func (rt *Router) fail(w http.ResponseWriter, status int, format string, args ...any) {
+	rt.writeJSON(w, status, errorJSON{Error: fmt.Sprintf(format, args...)})
+}
+
+// forward hands the request to backend shard s unchanged.
+func (rt *Router) forward(s int, w http.ResponseWriter, r *http.Request) {
+	rt.backends[s].ServeHTTP(w, r)
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	rt.writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"role":           "router",
+		"shards":         len(rt.backends),
+		"uptime_seconds": time.Since(rt.started).Seconds(),
+	})
+}
+
+// routerStatsJSON is the router's /stats document: routing counters
+// only — model stats live on the backends.
+type routerStatsJSON struct {
+	Status        string                       `json:"status"`
+	Role          string                       `json:"role"`
+	Shards        int                          `json:"shards"`
+	Users         int                          `json:"users"`
+	Edges         int                          `json:"edges"`
+	UptimeSeconds float64                      `json:"uptime_seconds"`
+	Requests      int64                        `json:"requests"`
+	Errors        int64                        `json:"errors"`
+	Endpoints     map[string]endpointStatsJSON `json:"endpoints"`
+}
+
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	requests, errs := rt.metrics.totals()
+	rt.writeJSON(w, http.StatusOK, routerStatsJSON{
+		Status:        "ok",
+		Role:          "router",
+		Shards:        len(rt.backends),
+		Users:         len(rt.corpus.Users),
+		Edges:         len(rt.corpus.Edges),
+		UptimeSeconds: time.Since(rt.started).Seconds(),
+		Requests:      requests,
+		Errors:        errs,
+		Endpoints:     rt.metrics.endpointStats(time.Since(rt.started)),
+	})
+}
+
+func (rt *Router) handleProfile(w http.ResponseWriter, r *http.Request) {
+	u, ok := resolveUser(rt.byHandle, len(rt.corpus.Users), r.PathValue("user"))
+	if !ok {
+		rt.fail(w, http.StatusNotFound, "unknown user %q", r.PathValue("user"))
+		return
+	}
+	rt.forward(dataset.ShardOf(u, len(rt.backends)), w, r)
+}
+
+// handleProfiles splits one bulk batch by owning shard, fans the
+// per-shard sub-batches out concurrently, and merges the answers back
+// into request order, so a caller sees exactly the response one big
+// backend would produce.
+func (rt *Router) handleProfiles(w http.ResponseWriter, r *http.Request) {
+	users, top, err := parseBulk(r)
+	if err != nil {
+		rt.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	out := bulkResponseJSON{Profiles: make([]json.RawMessage, len(users))}
+	perShard := make([][]string, len(rt.backends)) // user refs per shard
+	perShardPos := make([][]int, len(rt.backends)) // original positions
+	for i, raw := range users {
+		u, ok := resolveUser(rt.byHandle, len(rt.corpus.Users), raw)
+		if !ok {
+			out.Profiles[i] = errorEntry("unknown user %q", raw)
+			continue
+		}
+		s := dataset.ShardOf(u, len(rt.backends))
+		perShard[s] = append(perShard[s], raw)
+		perShardPos[s] = append(perShardPos[s], i)
+	}
+
+	var wg sync.WaitGroup
+	for s := range rt.backends {
+		if len(perShard[s]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			body, err := json.Marshal(bulkRequestJSON{Users: rawUsers(perShard[s]), Top: top})
+			if err != nil {
+				rt.scatterError(&out, perShardPos[s], "shard %d: marshal sub-batch: %v", s, err)
+				return
+			}
+			status, resp := Do(rt.backends[s], http.MethodPost, "/profiles", body)
+			if status != http.StatusOK {
+				rt.scatterError(&out, perShardPos[s], "shard %d: status %d: %s", s, status, strings.TrimSpace(string(resp)))
+				return
+			}
+			var sub bulkResponseJSON
+			if err := json.Unmarshal(resp, &sub); err != nil || len(sub.Profiles) != len(perShardPos[s]) {
+				rt.scatterError(&out, perShardPos[s], "shard %d: bad sub-batch response", s)
+				return
+			}
+			for j, pos := range perShardPos[s] {
+				out.Profiles[pos] = sub.Profiles[j]
+			}
+		}(s)
+	}
+	wg.Wait()
+	rt.writeJSON(w, http.StatusOK, out)
+}
+
+// scatterError fills every listed output position with the same error
+// entry (one backend's whole sub-batch failed).
+func (rt *Router) scatterError(out *bulkResponseJSON, positions []int, format string, args ...any) {
+	entry := errorEntry(format, args...)
+	rt.logf("serve: router: %s", fmt.Sprintf(format, args...))
+	for _, pos := range positions {
+		out.Profiles[pos] = entry
+	}
+}
+
+// rawUsers re-encodes user refs as JSON strings for a sub-batch body.
+func rawUsers(refs []string) []json.RawMessage {
+	out := make([]json.RawMessage, len(refs))
+	for i, ref := range refs {
+		b, _ := json.Marshal(ref)
+		out[i] = b
+	}
+	return out
+}
+
+// handleEdge routes an edge explanation to the shard owning the edge's
+// From user — where the sharded fitter placed its latent state.
+func (rt *Router) handleEdge(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil || id < 0 || id >= len(rt.corpus.Edges) {
+		rt.fail(w, http.StatusNotFound, "unknown edge %q", r.PathValue("id"))
+		return
+	}
+	rt.forward(dataset.ShardOf(rt.corpus.Edges[id].From, len(rt.backends)), w, r)
+}
+
+// handleVenueProb forwards to shard 0: ψ̂ readouts are not user-placed,
+// so any full backend answers; partial backends refuse with 501, which
+// the router surfaces unchanged.
+func (rt *Router) handleVenueProb(w http.ResponseWriter, r *http.Request) {
+	rt.forward(0, w, r)
+}
+
+type routerReloadJSON struct {
+	Status string   `json:"status"`
+	Shards []string `json:"shards"`
+}
+
+// handleReload fans the swap out to every backend. The tier reports ok
+// only when every shard swapped; a partial swap is reported per shard
+// and answered 502 so an operator retries.
+func (rt *Router) handleReload(w http.ResponseWriter, r *http.Request) {
+	results := make([]string, len(rt.backends))
+	var wg sync.WaitGroup
+	for s := range rt.backends {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			status, body := Do(rt.backends[s], http.MethodPost, "/reload", nil)
+			if status == http.StatusOK {
+				results[s] = "ok"
+				return
+			}
+			results[s] = fmt.Sprintf("status %d: %s", status, strings.TrimSpace(string(body)))
+		}(s)
+	}
+	wg.Wait()
+	allOK := true
+	for _, res := range results {
+		if res != "ok" {
+			allOK = false
+		}
+	}
+	out := routerReloadJSON{Status: "ok", Shards: results}
+	status := http.StatusOK
+	if !allOK {
+		out.Status = "partial"
+		status = http.StatusBadGateway
+	}
+	rt.writeJSON(w, status, out)
+}

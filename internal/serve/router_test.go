@@ -1,0 +1,329 @@
+package serve
+
+// Router tests: per-shard placement backends loaded from a PR 6 sharded
+// snapshot directory, fronted by the ShardOf-consistent router, must
+// answer every user id from the owning backend, byte-identical to a
+// full single-model server.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+	"testing"
+
+	"mlprofile/internal/core"
+	"mlprofile/internal/dataset"
+	"mlprofile/internal/synth"
+)
+
+const routerShards = 3
+
+var (
+	routerOnce    sync.Once
+	routerWorld   *dataset.Dataset
+	routerModel   *core.Model
+	routerSnapdir string
+)
+
+// routerFixture fits one sharded model per test binary and persists it
+// as a sharded snapshot directory.
+func routerFixture(t *testing.T) (*dataset.Dataset, *core.Model, string) {
+	t.Helper()
+	routerOnce.Do(func() {
+		d, err := synth.Generate(synth.Config{Seed: 21, NumUsers: 80, NumLocations: 50})
+		if err != nil {
+			panic(err)
+		}
+		m, err := core.Fit(&d.Corpus, core.Config{Seed: 4, Iterations: 2, Shards: routerShards})
+		if err != nil {
+			panic(err)
+		}
+		// Not t.TempDir(): the directory outlives the first test that
+		// happens to run the fixture.
+		base, err := os.MkdirTemp("", "mlp-router-test-*")
+		if err != nil {
+			panic(err)
+		}
+		dir := base + "/model.snapdir"
+		if err := m.SaveShardedSnapshot(dir); err != nil {
+			panic(err)
+		}
+		routerWorld, routerModel, routerSnapdir = d, m, dir
+	})
+	return routerWorld, routerModel, routerSnapdir
+}
+
+// countingBackend wraps a backend handler and counts the requests it
+// received, so tests can assert which shard answered.
+type countingBackend struct {
+	http.Handler
+	mu sync.Mutex
+	n  int
+}
+
+func (b *countingBackend) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+	b.Handler.ServeHTTP(w, r)
+}
+
+func (b *countingBackend) count() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}
+
+// shardBackends loads one partial server per slice and wraps each in a
+// request counter.
+func shardBackends(t *testing.T, d *dataset.Dataset, dir string) []*countingBackend {
+	t.Helper()
+	out := make([]*countingBackend, routerShards)
+	for s := 0; s < routerShards; s++ {
+		m, err := core.LoadSnapshotShard(&d.Corpus, dir, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := NewServer(m, &d.Corpus, Config{Snapshot: dir, Shard: s, Shards: routerShards})
+		out[s] = &countingBackend{Handler: srv.Handler()}
+	}
+	return out
+}
+
+// TestRouterAnswersEveryUserFromOwningShard is the placement lock:
+// every user id in the corpus is answered 200 through the router, by
+// exactly the dataset.ShardOf-owning backend, byte-identical to a full
+// single-model server over the same fitted state.
+func TestRouterAnswersEveryUserFromOwningShard(t *testing.T) {
+	d, m, dir := routerFixture(t)
+	backends := shardBackends(t, d, dir)
+	handlers := make([]http.Handler, len(backends))
+	for i, b := range backends {
+		handlers[i] = b
+	}
+	rt := NewRouter(&d.Corpus, handlers, nil)
+	h := rt.Handler()
+	full := New(m, &d.Corpus).Handler()
+
+	for u := range d.Corpus.Users {
+		owner := dataset.ShardOf(dataset.UserID(u), routerShards)
+		before := backends[owner].count()
+		code, routed := get(t, h, fmt.Sprintf("/profile/%d?top=5", u))
+		if code != http.StatusOK {
+			t.Fatalf("user %d: status %d: %s", u, code, routed)
+		}
+		if got := backends[owner].count(); got != before+1 {
+			t.Errorf("user %d: owning shard %d did not answer (count %d -> %d)", u, owner, before, got)
+		}
+		_, want := get(t, full, fmt.Sprintf("/profile/%d?top=5", u))
+		if !bytes.Equal(routed, want) {
+			t.Errorf("user %d: routed readout differs from full model:\n  routed %s  full   %s", u, routed, want)
+		}
+	}
+	// Handles route identically.
+	uh := d.Corpus.Users[11]
+	code, byHandle := get(t, h, "/profile/"+uh.Handle+"?top=5")
+	_, byID := get(t, h, fmt.Sprintf("/profile/%d?top=5", uh.ID))
+	if code != http.StatusOK || !bytes.Equal(byHandle, byID) {
+		t.Errorf("handle routing: status %d, %q vs %q", code, byHandle, byID)
+	}
+	if code, _ := get(t, h, "/profile/no-such-user"); code != http.StatusNotFound {
+		t.Errorf("unknown user through router: status %d", code)
+	}
+}
+
+// TestShardBackendOwnershipGuard: a partial backend hit directly with a
+// user it does not own refuses with 421 instead of serving wrong state,
+// and refuses non-profile readouts with 501.
+func TestShardBackendOwnershipGuard(t *testing.T) {
+	d, _, dir := routerFixture(t)
+	backends := shardBackends(t, d, dir)
+	var owned0, notOwned0 dataset.UserID
+	found := 0
+	for u := range d.Corpus.Users {
+		if dataset.ShardOf(dataset.UserID(u), routerShards) == 0 {
+			owned0 = dataset.UserID(u)
+			found |= 1
+		} else {
+			notOwned0 = dataset.UserID(u)
+			found |= 2
+		}
+		if found == 3 {
+			break
+		}
+	}
+	if code, _ := get(t, backends[0], fmt.Sprintf("/profile/%d", owned0)); code != http.StatusOK {
+		t.Errorf("owned user: status %d", code)
+	}
+	if code, _ := get(t, backends[0], fmt.Sprintf("/profile/%d", notOwned0)); code != http.StatusMisdirectedRequest {
+		t.Errorf("misdirected user: status %d, want 421", code)
+	}
+	if code, _ := get(t, backends[0], "/edge/0/explanation"); code != http.StatusNotImplemented {
+		t.Errorf("edge on partial backend: status %d, want 501", code)
+	}
+	if code, _ := get(t, backends[0], "/venue-prob?city=0&venue=0"); code != http.StatusNotImplemented {
+		t.Errorf("venue-prob on partial backend: status %d, want 501", code)
+	}
+}
+
+// TestRouterBulkMerge: a bulk batch spanning every shard comes back
+// merged in request order, entry-identical to single routed lookups.
+func TestRouterBulkMerge(t *testing.T) {
+	d, _, dir := routerFixture(t)
+	rt, err := NewShardRouter(&d.Corpus, dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := rt.Handler()
+
+	refs := []string{"0", "1", "2", "3", d.Corpus.Users[33].Handle, "nope", "55"}
+	var raw []json.RawMessage
+	for _, r := range refs {
+		b, _ := json.Marshal(r)
+		raw = append(raw, b)
+	}
+	body, _ := json.Marshal(bulkRequestJSON{Users: raw, Top: 4})
+	status, resp := Do(h, http.MethodPost, "/profiles", body)
+	if status != http.StatusOK {
+		t.Fatalf("bulk status %d: %s", status, resp)
+	}
+	var out bulkResponseJSON
+	if err := json.Unmarshal(resp, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Profiles) != len(refs) {
+		t.Fatalf("%d entries, want %d", len(out.Profiles), len(refs))
+	}
+	for i, ref := range refs {
+		if ref == "nope" {
+			var e errorJSON
+			if err := json.Unmarshal(out.Profiles[i], &e); err != nil || e.Error == "" {
+				t.Errorf("entry %d: want error object, got %s", i, out.Profiles[i])
+			}
+			continue
+		}
+		_, single := get(t, h, "/profile/"+ref+"?top=4")
+		if string(out.Profiles[i]) != string(bytes.TrimSuffix(single, []byte("\n"))) {
+			t.Errorf("entry %d (%s): bulk %s != routed single %s", i, ref, out.Profiles[i], single)
+		}
+	}
+}
+
+// TestRouterReloadFanout: POST /reload through the router swaps every
+// in-process shard backend (each re-reads its slice of the directory).
+func TestRouterReloadFanout(t *testing.T) {
+	d, _, dir := routerFixture(t)
+	rt, err := NewShardRouter(&d.Corpus, dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := rt.Handler()
+	_, before := get(t, h, "/profile/5?top=5")
+	status, resp := Do(h, http.MethodPost, "/reload", nil)
+	if status != http.StatusOK {
+		t.Fatalf("router reload: status %d: %s", status, resp)
+	}
+	var out routerReloadJSON
+	if err := json.Unmarshal(resp, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Status != "ok" || len(out.Shards) != routerShards {
+		t.Fatalf("reload fanout %+v", out)
+	}
+	for s, res := range out.Shards {
+		if res != "ok" {
+			t.Errorf("shard %d reload: %s", s, res)
+		}
+	}
+	if _, after := get(t, h, "/profile/5?top=5"); !bytes.Equal(before, after) {
+		t.Errorf("reload of unchanged directory changed a routed readout")
+	}
+}
+
+// TestRouterStatsAndHealth: the router's own endpoints answer without a
+// model and count routed traffic.
+func TestRouterStatsAndHealth(t *testing.T) {
+	d, _, dir := routerFixture(t)
+	rt, err := NewShardRouter(&d.Corpus, dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := rt.Handler()
+	code, body := get(t, h, "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthz %d", code)
+	}
+	var hz map[string]any
+	if err := json.Unmarshal(body, &hz); err != nil || hz["role"] != "router" {
+		t.Errorf("healthz %s", body)
+	}
+	get(t, h, "/profile/3?top=2")
+	if code, _ := get(t, h, "/bogus"); code != http.StatusNotFound {
+		t.Errorf("router 404: %d", code)
+	}
+	_, body = get(t, h, "/stats")
+	var st routerStatsJSON
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Role != "router" || st.Shards != routerShards {
+		t.Errorf("stats %+v", st)
+	}
+	if st.Requests < 3 || st.Errors < 1 {
+		t.Errorf("router counters requests=%d errors=%d", st.Requests, st.Errors)
+	}
+	if _, ok := st.Endpoints["profile"]; !ok {
+		t.Errorf("router endpoint stats missing profile: %v", st.Endpoints)
+	}
+}
+
+// TestConcurrentRouterReads hammers the routed tier from many
+// goroutines while reloads fan out — run under -race this locks the
+// shared-nothing claim across router, backends and holders.
+func TestConcurrentRouterReads(t *testing.T) {
+	d, _, dir := routerFixture(t)
+	rt, err := NewShardRouter(&d.Corpus, dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := rt.Handler()
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				u := (g*37 + i*11) % len(d.Corpus.Users)
+				if code, _ := get(t, h, fmt.Sprintf("/profile/%d?top=3", u)); code != http.StatusOK {
+					t.Errorf("profile %d: status %d", u, code)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			if status, body := Do(h, http.MethodPost, "/reload", nil); status != http.StatusOK {
+				t.Errorf("concurrent reload: status %d: %s", status, body)
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+// TestProxyBackends validates URL parsing only — the HTTP path itself
+// is covered by the in-process handlers sharing the same interface.
+func TestProxyBackends(t *testing.T) {
+	bs, err := ProxyBackends([]string{"http://127.0.0.1:1", " http://10.0.0.2:8080 "})
+	if err != nil || len(bs) != 2 {
+		t.Fatalf("ProxyBackends: %v (%d backends)", err, len(bs))
+	}
+	if _, err := ProxyBackends([]string{"not a url"}); err == nil {
+		t.Error("relative backend URL accepted")
+	}
+}

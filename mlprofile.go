@@ -165,14 +165,50 @@ func SaveShardedModel(m *Model, dir string) error { return m.SaveShardedSnapshot
 // model that wrote the snapshot; it cannot resume sampling.
 func LoadModel(c *Corpus, path string) (*Model, error) { return core.LoadSnapshot(c, path) }
 
+// LoadModelShard reads exactly one slice of a sharded snapshot
+// directory: the returned model carries fitted state only for the
+// users, edges and tweets dataset.ShardOf assigns to that shard — the
+// partial backend the serving tier's shard router places traffic onto.
+// See DESIGN.md §12.
+func LoadModelShard(c *Corpus, dir string, shard int) (*Model, error) {
+	return core.LoadSnapshotShard(c, dir, shard)
+}
+
+// SnapshotShards reports the shard count of a sharded snapshot
+// directory from its manifest, without decoding any slice.
+func SnapshotShards(dir string) (int, error) { return core.SnapshotShardCount(dir) }
+
 // ModelServer is the long-lived read-only HTTP serving layer over a
-// fitted model (see cmd/mlpserve and DESIGN.md §10).
+// fitted model (see cmd/mlpserve and DESIGN.md §10, §12).
 type ModelServer = serve.Server
+
+// ServeOptions tunes a ModelServer: the snapshot path behind POST
+// /reload hot swaps, the rendered-profile cache bound, and partial
+// placement-shard declarations. See DESIGN.md §12.
+type ServeOptions = serve.Config
+
+// ShardRouter fronts one backend per placement shard and routes every
+// user-scoped request with dataset.ShardOf — the same placement the
+// sharded fitter and sharded snapshots use. See DESIGN.md §12.
+type ShardRouter = serve.Router
 
 // Serve builds an HTTP server answering profile, explanation and
 // venue-probability lookups over a fitted (or snapshot-loaded) model.
 // Run it with ListenAndServe, or mount Handler() into an existing mux.
 func Serve(m *Model, c *Corpus) *ModelServer { return serve.New(m, c) }
+
+// ServeWith is Serve with explicit options (hot-swap snapshot path,
+// cache size, shard declaration).
+func ServeWith(m *Model, c *Corpus, opts ServeOptions) *ModelServer {
+	return serve.NewServer(m, c, opts)
+}
+
+// ServeSharded loads every slice of a sharded snapshot directory as an
+// in-process partial backend and fronts them with a ShardRouter — the
+// single-process form of the routed serving tier.
+func ServeSharded(c *Corpus, snapshotDir string, opts ServeOptions) (*ShardRouter, error) {
+	return serve.NewShardRouter(c, snapshotDir, opts)
+}
 
 // Synthetic world generation.
 type (
