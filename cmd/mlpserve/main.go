@@ -61,6 +61,13 @@ func main() {
 		backends = flag.String("backends", "", "comma-separated backend base URLs for -router (empty = in-process shard backends from -snapshot)")
 		shard    = flag.Int("shard", -1, "serve one placement shard of a sharded snapshot directory")
 
+		backendTimeout  = flag.Duration("backend-timeout", 0, "router: per-backend forward deadline (0 = 5s default, <0 = none)")
+		retries         = flag.Int("retries", 0, "router: extra attempts for idempotent GET forwards (0 = default 2, <0 = off)")
+		retryBackoff    = flag.Duration("retry-backoff", 0, "router: base retry backoff, doubled per attempt with jitter (0 = 25ms default)")
+		breaker         = flag.Int("breaker", 0, "router: consecutive backend failures that open a shard's circuit (0 = default 5, <0 = off)")
+		breakerCooldown = flag.Duration("breaker-cooldown", 0, "router: circuit open -> half-open cooldown (0 = 1s default)")
+		probeInterval   = flag.Duration("probe-interval", 0, "router: active /healthz probe cadence (0 = probes off)")
+
 		bench        = flag.Bool("bench", false, "run the serve benchmark against the loaded handler and exit")
 		benchOut     = flag.String("benchout", "BENCH_serve.json", "serve benchmark output path")
 		benchDur     = flag.Duration("benchdur", 2*time.Second, "serve benchmark duration per endpoint cell")
@@ -78,16 +85,27 @@ func main() {
 		log.Fatal(err)
 	}
 
-	scfg := serve.Config{Snapshot: *snapshot, CacheSize: *cache, Logf: log.Printf}
+	scfg := serve.Config{
+		Snapshot: *snapshot, CacheSize: *cache, Logf: log.Printf,
+		BackendTimeout: *backendTimeout, Retries: *retries, RetryBackoff: *retryBackoff,
+		BreakerThreshold: *breaker, BreakerCooldown: *breakerCooldown,
+		ProbeInterval: *probeInterval,
+	}
 	var handler http.Handler
+	// startProbes, set in the router modes, launches the active health
+	// prober once the daemon's lifecycle context exists.
+	startProbes := func(context.Context) {}
 	switch {
 	case *router && *backends != "":
-		bs, err := serve.ProxyBackends(strings.Split(*backends, ","))
+		bs, err := serve.ProxyBackendsWith(strings.Split(*backends, ","), serve.ProxyConfig{
+			ResponseHeaderTimeout: *backendTimeout, Logf: log.Printf,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		rt := serve.NewRouter(&d.Corpus, bs, log.Printf)
+		rt := serve.NewRouter(&d.Corpus, bs, scfg)
 		handler = rt.Handler()
+		startProbes = rt.StartProbes
 		log.Printf("routing %d users across %d remote backends", len(d.Corpus.Users), rt.Shards())
 	case *router:
 		rt, err := serve.NewShardRouter(&d.Corpus, *snapshot, scfg)
@@ -95,6 +113,7 @@ func main() {
 			log.Fatal(err)
 		}
 		handler = rt.Handler()
+		startProbes = rt.StartProbes
 		log.Printf("routing %d users across %d in-process shard backends of %s", len(d.Corpus.Users), rt.Shards(), *snapshot)
 	case *shard >= 0:
 		shards, err := core.SnapshotShardCount(*snapshot)
@@ -141,6 +160,7 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	startProbes(ctx)
 
 	// SIGHUP hot-swaps the snapshot through the same path POST /reload
 	// takes, whatever mode the handler is in (a router fans it out).

@@ -1,0 +1,134 @@
+package serve
+
+// Per-backend circuit breaker (DESIGN.md §13): closed → open after
+// `threshold` consecutive transport failures, open → half-open after
+// `cooldown`, half-open → closed on one successful trial (re-open on a
+// failed one). Only transport-class failures — timeouts, refused
+// connections, proxy errors, panics — count; an application 404 from a
+// healthy backend never moves the breaker. The clock is injectable so
+// the state machine is testable exactly, without sleeping.
+
+import (
+	"sync"
+	"time"
+)
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable for exact state-machine tests
+	logf      func(format string, args ...any)
+	name      string
+
+	mu       sync.Mutex
+	state    breakerState
+	fails    int // consecutive transport failures while closed
+	openedAt time.Time
+	trial    bool  // a half-open trial call is in flight
+	opens    int64 // lifetime closed/half-open → open transitions
+}
+
+func newBreaker(threshold int, cooldown time.Duration, name string, logf func(string, ...any)) *breaker {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &breaker{
+		threshold: threshold,
+		cooldown:  cooldown,
+		now:       time.Now,
+		logf:      logf,
+		name:      name,
+	}
+}
+
+// allow reports whether a call may proceed. While open it fails fast
+// until the cooldown elapses, then transitions to half-open and grants
+// exactly one in-flight trial; further calls fail fast until record()
+// settles the trial.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.trial = true
+		b.logf("serve: breaker %s: open -> half-open (cooldown elapsed)", b.name)
+		return true
+	default: // half-open
+		if b.trial {
+			return false
+		}
+		b.trial = true
+		return true
+	}
+}
+
+// record reports the transport outcome of one allowed call.
+func (b *breaker) record(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		if ok {
+			b.fails = 0
+			return
+		}
+		b.fails++
+		if b.fails >= b.threshold {
+			b.open("threshold")
+		}
+	case breakerHalfOpen:
+		b.trial = false
+		if ok {
+			b.state = breakerClosed
+			b.fails = 0
+			b.logf("serve: breaker %s: half-open -> closed (trial succeeded)", b.name)
+		} else {
+			b.open("trial failed")
+		}
+	case breakerOpen:
+		// A straggler attempt that was allowed before the breaker
+		// opened; the open state already reflects the failure burst.
+	}
+}
+
+// open transitions to open; caller holds b.mu.
+func (b *breaker) open(why string) {
+	b.state = breakerOpen
+	b.openedAt = b.now()
+	b.fails = 0
+	b.opens++
+	b.logf("serve: breaker %s: -> open (%s), cooling down %s", b.name, why, b.cooldown)
+}
+
+// snapshot returns the state name and lifetime open count for /stats
+// and /healthz, without mutating the machine.
+func (b *breaker) snapshot() (state string, opens int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state.String(), b.opens
+}

@@ -1,0 +1,135 @@
+package serve
+
+// Exact state-machine tests for the per-backend circuit breaker and the
+// deterministic retry backoff schedule (DESIGN.md §13). The breaker
+// clock is injected, so every transition is asserted without sleeping;
+// the backoff jitter is a seeded SplitMix64 stream, so schedules are
+// asserted to the nanosecond.
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerStateMachine(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := newBreaker(3, time.Minute, "test", nil)
+	b.now = func() time.Time { return now }
+
+	if !b.allow() {
+		t.Fatal("closed breaker refused a call")
+	}
+	// Failures below the threshold keep it closed, and one success
+	// resets the consecutive count.
+	b.record(false)
+	b.record(false)
+	if st, _ := b.snapshot(); st != "closed" {
+		t.Fatalf("after 2 failures: %s, want closed", st)
+	}
+	b.record(true)
+	b.record(false)
+	b.record(false)
+	if st, _ := b.snapshot(); st != "closed" {
+		t.Fatalf("success did not reset the failure count: %s", st)
+	}
+
+	// The third consecutive failure opens it.
+	b.record(false)
+	if st, opens := b.snapshot(); st != "open" || opens != 1 {
+		t.Fatalf("after threshold: %s/%d, want open/1", st, opens)
+	}
+	if b.allow() {
+		t.Fatal("open breaker allowed a call before cooldown")
+	}
+	now = now.Add(59 * time.Second)
+	if b.allow() {
+		t.Fatal("open breaker allowed a call 1s before cooldown elapsed")
+	}
+
+	// Cooldown elapsed: exactly one half-open trial is granted.
+	now = now.Add(2 * time.Second)
+	if !b.allow() {
+		t.Fatal("cooldown elapsed but no half-open trial granted")
+	}
+	if st, _ := b.snapshot(); st != "half-open" {
+		t.Fatalf("state after trial grant: %s, want half-open", st)
+	}
+	if b.allow() {
+		t.Fatal("second call allowed while the half-open trial is in flight")
+	}
+
+	// A failed trial re-opens with a fresh cooldown.
+	b.record(false)
+	if st, opens := b.snapshot(); st != "open" || opens != 2 {
+		t.Fatalf("after failed trial: %s/%d, want open/2", st, opens)
+	}
+	if b.allow() {
+		t.Fatal("re-opened breaker allowed a call immediately")
+	}
+
+	// A successful trial closes it again.
+	now = now.Add(61 * time.Second)
+	if !b.allow() {
+		t.Fatal("second half-open trial not granted")
+	}
+	b.record(true)
+	if st, opens := b.snapshot(); st != "closed" || opens != 2 {
+		t.Fatalf("after successful trial: %s/%d, want closed/2", st, opens)
+	}
+	if !b.allow() {
+		t.Fatal("closed breaker refused a call after recovery")
+	}
+}
+
+func TestBreakerStragglerWhileOpen(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := newBreaker(1, time.Minute, "test", nil)
+	b.now = func() time.Time { return now }
+	b.record(false) // opens
+	// A call that was allowed before the open finished only now: its
+	// outcome must not perturb the open state or the cooldown clock.
+	b.record(true)
+	b.record(false)
+	if st, opens := b.snapshot(); st != "open" || opens != 1 {
+		t.Fatalf("straggler moved the breaker: %s/%d, want open/1", st, opens)
+	}
+}
+
+func TestBackoffScheduleDeterministic(t *testing.T) {
+	base := 10 * time.Millisecond
+	a := backoffSchedule(base, 3, 7, 1)
+	b := backoffSchedule(base, 3, 7, 1)
+	if len(a) != 3 {
+		t.Fatalf("schedule length %d, want 3", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed+stream, different schedules: %v vs %v", a, b)
+		}
+		lo := base << uint(i)
+		if a[i] < lo || a[i] >= lo+base {
+			t.Errorf("delay %d = %v outside [%v, %v)", i, a[i], lo, lo+base)
+		}
+	}
+	// A different stream draws different jitter (deterministically).
+	c := backoffSchedule(base, 3, 7, 2)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Errorf("streams 1 and 2 produced identical jitter: %v", a)
+	}
+}
+
+func TestBackoffScheduleCap(t *testing.T) {
+	base := 1500 * time.Millisecond
+	sched := backoffSchedule(base, 2, 1, 1)
+	// Delay 1 doubles past MaxRetryBackoff and must be capped (plus up
+	// to one base of jitter).
+	if sched[1] < MaxRetryBackoff || sched[1] >= MaxRetryBackoff+base {
+		t.Errorf("capped delay %v outside [%v, %v)", sched[1], MaxRetryBackoff, MaxRetryBackoff+base)
+	}
+}

@@ -1,0 +1,569 @@
+package serve
+
+// Chaos suite (DESIGN.md §13): the routed tier driven through scripted
+// faults — hung, crashed, flapping, and garbage-emitting backends — must
+// degrade per shard and recover to byte-identical answers, never hang,
+// and never take a healthy shard's entries with it. Every scenario is
+// deterministic (scripted fault counts, driven probe rounds, seeded
+// backoff) and millisecond-scale, so the suite runs in the tier-1 and
+// -race legs without stretching wall-clock.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"mlprofile/internal/core"
+	"mlprofile/internal/dataset"
+	"mlprofile/internal/synth"
+)
+
+const chaosShards = 4
+
+var (
+	chaosOnce    sync.Once
+	chaosWorld   *dataset.Dataset
+	chaosSnapdir string
+)
+
+// chaosFixture fits one 4-shard world per test binary and snapshots it.
+func chaosFixture(t *testing.T) (*dataset.Dataset, string) {
+	t.Helper()
+	chaosOnce.Do(func() {
+		d, err := synth.Generate(synth.Config{Seed: 33, NumUsers: 60, NumLocations: 40})
+		if err != nil {
+			panic(err)
+		}
+		m, err := core.Fit(&d.Corpus, core.Config{Seed: 6, Iterations: 2, Shards: chaosShards})
+		if err != nil {
+			panic(err)
+		}
+		base, err := os.MkdirTemp("", "mlp-chaos-test-*")
+		if err != nil {
+			panic(err)
+		}
+		dir := base + "/model.snapdir"
+		if err := m.SaveShardedSnapshot(dir); err != nil {
+			panic(err)
+		}
+		chaosWorld, chaosSnapdir = d, dir
+	})
+	return chaosWorld, chaosSnapdir
+}
+
+// chaosRouter builds a router whose per-shard in-process backends are
+// each wrapped in a fault injector.
+func chaosRouter(t *testing.T, cfg Config) (*Router, []*FaultInjector) {
+	t.Helper()
+	d, dir := chaosFixture(t)
+	injectors := make([]*FaultInjector, chaosShards)
+	handlers := make([]http.Handler, chaosShards)
+	for s := 0; s < chaosShards; s++ {
+		m, err := core.LoadSnapshotShard(&d.Corpus, dir, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := NewServer(m, &d.Corpus, Config{Snapshot: dir, Shard: s, Shards: chaosShards})
+		injectors[s] = NewFaultInjector(srv.Handler())
+		handlers[s] = injectors[s]
+	}
+	return NewRouter(&d.Corpus, handlers, cfg), injectors
+}
+
+// allUsersBulk builds a POST /profiles body spanning every user.
+func allUsersBulk(t *testing.T, d *dataset.Dataset, top int) []byte {
+	t.Helper()
+	refs := make([]json.RawMessage, len(d.Corpus.Users))
+	for u := range d.Corpus.Users {
+		b, _ := json.Marshal(fmt.Sprintf("%d", u))
+		refs[u] = b
+	}
+	body, err := json.Marshal(bulkRequestJSON{Users: refs, Top: top})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// shardEntryError is the per-entry degraded-shard object shape.
+type shardEntryError struct {
+	Error  string `json:"error"`
+	Status int    `json:"status"`
+	Shard  int    `json:"shard"`
+}
+
+// TestChaosHungShardBulkDegradesAndRecovers is the acceptance scenario:
+// with one of four backends hung, a bulk request spanning every shard
+// still answers 200 within the configured deadline, entries owned by
+// live shards byte-identical to the healthy run, entries owned by the
+// hung shard as per-entry 503 objects; after the fault clears, the
+// breaker closes and a repeat request is byte-identical to the healthy
+// run.
+func TestChaosHungShardBulkDegradesAndRecovers(t *testing.T) {
+	d, _ := chaosFixture(t)
+	// The cooldown must outlast the fast-fail assertions below (so the
+	// open breaker doesn't slip half-open under them) while staying
+	// short enough for the recovery phase to sleep it off.
+	rt, inj := chaosRouter(t, Config{
+		BackendTimeout:   150 * time.Millisecond,
+		Retries:          -1,
+		BreakerThreshold: 1,
+		BreakerCooldown:  300 * time.Millisecond,
+	})
+	h := rt.Handler()
+	bulk := allUsersBulk(t, d, 3)
+	const hungShard = 2
+
+	status, healthy := Do(h, http.MethodPost, "/profiles", bulk)
+	if status != http.StatusOK {
+		t.Fatalf("healthy bulk: status %d: %s", status, healthy)
+	}
+	var healthyOut bulkResponseJSON
+	if err := json.Unmarshal(healthy, &healthyOut); err != nil {
+		t.Fatal(err)
+	}
+
+	inj[hungShard].SetHang(true)
+	start := time.Now()
+	status, degraded := Do(h, http.MethodPost, "/profiles", bulk)
+	elapsed := time.Since(start)
+	if status != http.StatusOK {
+		t.Fatalf("degraded bulk: status %d: %s", status, degraded)
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("degraded bulk took %v — the deadline did not bound the hung shard", elapsed)
+	}
+	var degradedOut bulkResponseJSON
+	if err := json.Unmarshal(degraded, &degradedOut); err != nil {
+		t.Fatal(err)
+	}
+	if len(degradedOut.Profiles) != len(healthyOut.Profiles) {
+		t.Fatalf("degraded bulk has %d entries, healthy %d", len(degradedOut.Profiles), len(healthyOut.Profiles))
+	}
+	hungOwned := 0
+	for u := range d.Corpus.Users {
+		owner := dataset.ShardOf(dataset.UserID(u), chaosShards)
+		if owner == hungShard {
+			hungOwned++
+			var e shardEntryError
+			if err := json.Unmarshal(degradedOut.Profiles[u], &e); err != nil ||
+				e.Status != http.StatusServiceUnavailable || e.Shard != hungShard || e.Error == "" {
+				t.Errorf("user %d (hung shard): want a 503 error object, got %s", u, degradedOut.Profiles[u])
+			}
+			continue
+		}
+		if !bytes.Equal(degradedOut.Profiles[u], healthyOut.Profiles[u]) {
+			t.Errorf("user %d (live shard %d): degraded entry differs from healthy:\n  %s\n  %s",
+				u, owner, degradedOut.Profiles[u], healthyOut.Profiles[u])
+		}
+	}
+	if hungOwned == 0 {
+		t.Fatal("fixture has no users on the hung shard; scenario is vacuous")
+	}
+
+	// The timeout tripped the breaker (threshold 1): a single-user
+	// request to the hung shard now fails fast with a JSON 503 naming
+	// the shard, without touching the backend.
+	var hungUser dataset.UserID
+	for u := range d.Corpus.Users {
+		if dataset.ShardOf(dataset.UserID(u), chaosShards) == hungShard {
+			hungUser = dataset.UserID(u)
+			break
+		}
+	}
+	callsBefore := inj[hungShard].Calls()
+	start = time.Now()
+	code, body := get(t, h, fmt.Sprintf("/profile/%d", hungUser))
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("single user on hung shard: status %d: %s", code, body)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Errorf("fast-fail took %v", d)
+	}
+	var e errorJSON
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+		t.Fatalf("fast-fail body is not a JSON error: %q", body)
+	}
+	if want := fmt.Sprintf("shard %d unavailable", hungShard); !bytes.Contains(body, []byte(want)) {
+		t.Errorf("fast-fail does not name the shard: %q", body)
+	}
+	if got := inj[hungShard].Calls(); got != callsBefore {
+		t.Errorf("fast-fail reached the backend (%d -> %d calls)", callsBefore, got)
+	}
+
+	// Router health reflects the open circuit.
+	_, hz := get(t, h, "/healthz")
+	var hzOut struct {
+		Status   string              `json:"status"`
+		Backends []backendHealthJSON `json:"backends"`
+	}
+	if err := json.Unmarshal(hz, &hzOut); err != nil {
+		t.Fatal(err)
+	}
+	if hzOut.Status != "degraded" || hzOut.Backends[hungShard].Breaker != "open" {
+		t.Errorf("healthz during fault: %s", hz)
+	}
+
+	// Clear the fault; after the cooldown the half-open trial closes the
+	// breaker and the tier answers byte-identically to the healthy run.
+	inj[hungShard].SetHang(false)
+	time.Sleep(350 * time.Millisecond)
+	status, recovered := Do(h, http.MethodPost, "/profiles", bulk)
+	if status != http.StatusOK {
+		t.Fatalf("recovered bulk: status %d: %s", status, recovered)
+	}
+	if !bytes.Equal(recovered, healthy) {
+		t.Errorf("recovered bulk differs from healthy run:\n  %s\n  %s", recovered, healthy)
+	}
+	_, hz = get(t, h, "/healthz")
+	if err := json.Unmarshal(hz, &hzOut); err != nil {
+		t.Fatal(err)
+	}
+	if hzOut.Status != "ok" || hzOut.Backends[hungShard].Breaker != "closed" {
+		t.Errorf("healthz after recovery: %s", hz)
+	}
+}
+
+// TestChaosRetriesRideOverTransientFailures: a backend that fails twice
+// and recovers is absorbed by idempotent-GET retries — the caller sees
+// a clean 200, byte-identical to an untroubled run.
+func TestChaosRetriesRideOverTransientFailures(t *testing.T) {
+	rt, inj := chaosRouter(t, Config{
+		Retries:          2,
+		RetryBackoff:     time.Millisecond,
+		RetrySeed:        7,
+		BreakerThreshold: 10,
+	})
+	h := rt.Handler()
+	u := dataset.UserID(0)
+	s := dataset.ShardOf(u, chaosShards)
+
+	_, want := get(t, h, fmt.Sprintf("/profile/%d?top=4", u))
+	callsBefore := inj[s].Calls()
+	inj[s].FailNext(2, 0)
+	code, got := get(t, h, fmt.Sprintf("/profile/%d?top=4", u))
+	if code != http.StatusOK {
+		t.Fatalf("retried GET: status %d: %s", code, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("retried readout differs: %q vs %q", got, want)
+	}
+	if delta := inj[s].Calls() - callsBefore; delta != 3 {
+		t.Errorf("backend saw %d attempts, want 3 (2 failures + 1 success)", delta)
+	}
+	_, stats := get(t, h, "/stats")
+	var st routerStatsJSON
+	if err := json.Unmarshal(stats, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Retries < 2 || st.BackendErrors < 2 {
+		t.Errorf("retry counters: retries=%d backend_errors=%d, want >=2/>=2", st.Retries, st.BackendErrors)
+	}
+}
+
+// TestChaosBreakerOpensFastFailsHalfOpens: consecutive failures open
+// the circuit, fast-fails bypass the backend, and after the cooldown a
+// single successful trial closes it.
+func TestChaosBreakerOpensFastFailsHalfOpens(t *testing.T) {
+	rt, inj := chaosRouter(t, Config{
+		Retries:          -1,
+		BreakerThreshold: 2,
+		BreakerCooldown:  120 * time.Millisecond,
+	})
+	h := rt.Handler()
+	u := dataset.UserID(0)
+	s := dataset.ShardOf(u, chaosShards)
+	path := fmt.Sprintf("/profile/%d", u)
+	_, want := get(t, h, path)
+
+	inj[s].FailNext(100, 0)
+	for i := 0; i < 2; i++ {
+		if code, _ := get(t, h, path); code != http.StatusServiceUnavailable {
+			t.Fatalf("failure %d: status %d", i, code)
+		}
+	}
+	// Open: the next request never reaches the backend.
+	calls := inj[s].Calls()
+	code, body := get(t, h, path)
+	if code != http.StatusServiceUnavailable || !bytes.Contains(body, []byte("circuit open")) {
+		t.Fatalf("fast-fail: status %d: %s", code, body)
+	}
+	if inj[s].Calls() != calls {
+		t.Error("fast-fail reached the backend")
+	}
+	// Recovery before the cooldown still fast-fails.
+	inj[s].Reset()
+	if code, _ := get(t, h, path); code != http.StatusServiceUnavailable {
+		t.Error("breaker honored recovery before the cooldown elapsed")
+	}
+	// After the cooldown, the half-open trial succeeds and closes it.
+	time.Sleep(150 * time.Millisecond)
+	code, got := get(t, h, path)
+	if code != http.StatusOK || !bytes.Equal(got, want) {
+		t.Fatalf("post-cooldown trial: status %d, bytes equal %v", code, bytes.Equal(got, want))
+	}
+	_, hz := get(t, h, "/healthz")
+	var hzOut struct {
+		Status   string              `json:"status"`
+		Backends []backendHealthJSON `json:"backends"`
+	}
+	if err := json.Unmarshal(hz, &hzOut); err != nil {
+		t.Fatal(err)
+	}
+	if hzOut.Status != "ok" || hzOut.Backends[s].Breaker != "closed" || hzOut.Backends[s].Opens != 1 {
+		t.Errorf("healthz after breaker cycle: %s", hz)
+	}
+}
+
+// TestChaosMalformedSubBatchDegradesOnlyThatShard: a backend emitting
+// garbage JSON degrades its own entries (502 objects) and nothing else.
+func TestChaosMalformedSubBatchDegradesOnlyThatShard(t *testing.T) {
+	d, _ := chaosFixture(t)
+	rt, inj := chaosRouter(t, Config{Retries: -1, BreakerThreshold: -1})
+	h := rt.Handler()
+	bulk := allUsersBulk(t, d, 3)
+	_, healthy := Do(h, http.MethodPost, "/profiles", bulk)
+	var healthyOut bulkResponseJSON
+	if err := json.Unmarshal(healthy, &healthyOut); err != nil {
+		t.Fatal(err)
+	}
+
+	const badShard = 1
+	inj[badShard].SetMalformed(true)
+	status, degraded := Do(h, http.MethodPost, "/profiles", bulk)
+	if status != http.StatusOK {
+		t.Fatalf("bulk with malformed shard: status %d", status)
+	}
+	var out bulkResponseJSON
+	if err := json.Unmarshal(degraded, &out); err != nil {
+		t.Fatal(err)
+	}
+	for u := range d.Corpus.Users {
+		if dataset.ShardOf(dataset.UserID(u), chaosShards) == badShard {
+			var e shardEntryError
+			if err := json.Unmarshal(out.Profiles[u], &e); err != nil ||
+				e.Status != http.StatusBadGateway || e.Shard != badShard {
+				t.Errorf("user %d: want 502 error object, got %s", u, out.Profiles[u])
+			}
+			continue
+		}
+		if !bytes.Equal(out.Profiles[u], healthyOut.Profiles[u]) {
+			t.Errorf("user %d on a healthy shard was degraded", u)
+		}
+	}
+}
+
+// TestChaosProbeMarksDownAndRecovers: a failing health probe marks the
+// shard down — single-user requests fail fast naming the shard, the
+// router healthz turns degraded — and a succeeding probe marks it back
+// up.
+func TestChaosProbeMarksDownAndRecovers(t *testing.T) {
+	rt, inj := chaosRouter(t, Config{
+		BackendTimeout:   100 * time.Millisecond,
+		Retries:          -1,
+		BreakerThreshold: -1,
+		ProbeInterval:    time.Hour, // rounds driven manually via ProbeOnce
+	})
+	h := rt.Handler()
+	ctx := context.Background()
+	u := dataset.UserID(0)
+	s := dataset.ShardOf(u, chaosShards)
+	path := fmt.Sprintf("/profile/%d", u)
+
+	rt.ProbeOnce(ctx)
+	if code, _ := get(t, h, path); code != http.StatusOK {
+		t.Fatal("healthy probe round broke routing")
+	}
+
+	inj[s].SetHang(true)
+	rt.ProbeOnce(ctx)
+	calls := inj[s].Calls()
+	code, body := get(t, h, path)
+	if code != http.StatusServiceUnavailable || !bytes.Contains(body, []byte("failed health probe")) {
+		t.Fatalf("probe-down fast-fail: status %d: %s", code, body)
+	}
+	if inj[s].Calls() != calls {
+		t.Error("probe-down request reached the backend")
+	}
+	_, hz := get(t, h, "/healthz")
+	var hzOut struct {
+		Status   string              `json:"status"`
+		Backends []backendHealthJSON `json:"backends"`
+	}
+	if err := json.Unmarshal(hz, &hzOut); err != nil {
+		t.Fatal(err)
+	}
+	if hzOut.Status != "degraded" || hzOut.Backends[s].Healthy {
+		t.Errorf("healthz with downed shard: %s", hz)
+	}
+
+	inj[s].SetHang(false)
+	rt.ProbeOnce(ctx)
+	if code, _ := get(t, h, path); code != http.StatusOK {
+		t.Error("recovered shard still failing fast")
+	}
+	_, stats := get(t, h, "/stats")
+	var st routerStatsJSON
+	if err := json.Unmarshal(stats, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ProbeFailures < 1 {
+		t.Errorf("probe_failures=%d, want >=1", st.ProbeFailures)
+	}
+}
+
+// TestChaosBackgroundProberFlipsHealth drives the real ticker loop:
+// StartProbes marks a hung shard down within a few intervals and back
+// up after recovery.
+func TestChaosBackgroundProberFlipsHealth(t *testing.T) {
+	_, _ = chaosFixture(t)
+	rt, inj := chaosRouter(t, Config{
+		BackendTimeout:   50 * time.Millisecond,
+		Retries:          -1,
+		BreakerThreshold: -1,
+		ProbeInterval:    10 * time.Millisecond,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rt.StartProbes(ctx)
+
+	const s = 3
+	inj[s].SetHang(true)
+	waitFor(t, time.Second, func() bool {
+		return rt.backends[s].probeDown.Load()
+	}, "prober never marked the hung shard down")
+	inj[s].SetHang(false)
+	waitFor(t, time.Second, func() bool {
+		return !rt.backends[s].probeDown.Load()
+	}, "prober never marked the recovered shard up")
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, max time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(max)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal(msg)
+}
+
+// TestChaosPanickingBackend: a backend that panics on every request is
+// recovered by the forwarding layer into a JSON 502 — the router's
+// connection survives and the panic is counted.
+func TestChaosPanickingBackend(t *testing.T) {
+	d, _ := chaosFixture(t)
+	panicking := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("backend bug")
+	})
+	rt := NewRouter(&d.Corpus, []http.Handler{panicking}, Config{Retries: -1, BreakerThreshold: -1})
+	h := rt.Handler()
+	code, body := get(t, h, "/profile/0")
+	if code != http.StatusBadGateway {
+		t.Fatalf("panicking backend: status %d: %s", code, body)
+	}
+	var e errorJSON
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+		t.Fatalf("panic answer is not a JSON error: %q", body)
+	}
+	_, stats := get(t, h, "/stats")
+	var st routerStatsJSON
+	if err := json.Unmarshal(stats, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Panics < 1 {
+		t.Errorf("panics=%d, want >=1", st.Panics)
+	}
+}
+
+// TestInstrumentPanicRecovery: the counting middleware itself turns a
+// handler panic into a counted JSON 500 instead of aborting the
+// connection (the per-shard servers and the router share it).
+func TestInstrumentPanicRecovery(t *testing.T) {
+	m := &metrics{}
+	h := instrument(m, nil, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("handler bug")
+	}))
+	code, body := get(t, h, "/anything")
+	if code != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", code)
+	}
+	var e errorJSON
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+		t.Fatalf("panic response is not a JSON error: %q", body)
+	}
+	if m.panics.Load() != 1 {
+		t.Errorf("panics=%d, want 1", m.panics.Load())
+	}
+	if _, errs := m.totals(); errs != 1 {
+		t.Errorf("errors=%d, want 1 (the 500 must be observed)", errs)
+	}
+}
+
+// TestChaosConcurrentLoadThroughFlappingShard hammers the routed tier
+// from many goroutines while one shard's injector flaps between healthy
+// and failing — under -race this locks the breaker, injector, and
+// forwarding machinery against each other. Every response must be a
+// well-formed JSON answer (200 from a live attempt, 503 from the tier).
+func TestChaosConcurrentLoadThroughFlappingShard(t *testing.T) {
+	d, _ := chaosFixture(t)
+	rt, inj := chaosRouter(t, Config{
+		BackendTimeout:   200 * time.Millisecond,
+		Retries:          1,
+		RetryBackoff:     time.Millisecond,
+		BreakerThreshold: 3,
+		BreakerCooldown:  5 * time.Millisecond,
+	})
+	h := rt.Handler()
+	const flappingShard = 1
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	flapperDone := make(chan struct{})
+	go func() {
+		defer close(flapperDone)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i%2 == 0 {
+				inj[flappingShard].FailNext(3, 0)
+			} else {
+				inj[flappingShard].Reset()
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				u := (g*41 + i*13) % len(d.Corpus.Users)
+				code, body := get(t, h, fmt.Sprintf("/profile/%d?top=3", u))
+				if code != http.StatusOK && code != http.StatusServiceUnavailable {
+					t.Errorf("user %d: status %d: %s", u, code, body)
+					return
+				}
+				var v map[string]any
+				if err := json.Unmarshal(body, &v); err != nil {
+					t.Errorf("user %d: malformed response %q", u, body)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	<-flapperDone
+}

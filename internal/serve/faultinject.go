@@ -1,0 +1,143 @@
+package serve
+
+// Deterministic fault injection (DESIGN.md §13): a middleware wrapping
+// any backend handler with scripted faults, so the chaos test suite and
+// the CI chaos-smoke leg can produce exactly the failure a scenario
+// needs — fail-N-then-recover, fixed added latency, hang-until-cancel,
+// malformed response bodies — and then clear it, proving the router
+// degrades and recovers rather than hanging. Faults are counted and
+// scripted under a mutex; the handler itself stays race-clean under
+// concurrent load.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// FaultInjector wraps a backend handler with scripted faults. The zero
+// fault script is a transparent pass-through.
+type FaultInjector struct {
+	next http.Handler
+
+	mu         sync.Mutex
+	failN      int // remaining requests answered with failStatus
+	failStatus int
+	latency    time.Duration // added before passing through
+	hang       bool          // block until the request context cancels
+	malformed  bool          // answer 200 with a non-JSON body
+	calls      int           // every request seen
+	faults     int           // requests that hit a scripted fault
+}
+
+// NewFaultInjector wraps next with an initially transparent injector.
+func NewFaultInjector(next http.Handler) *FaultInjector {
+	return &FaultInjector{next: next}
+}
+
+// FailNext scripts the next n requests to answer status with the
+// transport marker set — the shape of a crashed or refusing backend.
+// status 0 means 503.
+func (f *FaultInjector) FailNext(n, status int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if status == 0 {
+		status = http.StatusServiceUnavailable
+	}
+	f.failN, f.failStatus = n, status
+}
+
+// SetLatency adds a fixed delay (cancellable by the request context)
+// before every pass-through; 0 clears it.
+func (f *FaultInjector) SetLatency(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.latency = d
+}
+
+// SetHang makes every request block until its context is cancelled —
+// the shape of a wedged backend. The router's deadline is the only way
+// such a request ends.
+func (f *FaultInjector) SetHang(on bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.hang = on
+}
+
+// SetMalformed makes every request answer 200 with a truncated non-JSON
+// body — the shape of a backend dying mid-write.
+func (f *FaultInjector) SetMalformed(on bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.malformed = on
+}
+
+// Reset clears every scripted fault (counters are kept).
+func (f *FaultInjector) Reset() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failN, f.failStatus = 0, 0
+	f.latency = 0
+	f.hang = false
+	f.malformed = false
+}
+
+// Calls returns how many requests the injector has seen.
+func (f *FaultInjector) Calls() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls
+}
+
+// Faults returns how many requests hit a scripted fault.
+func (f *FaultInjector) Faults() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.faults
+}
+
+func (f *FaultInjector) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	f.mu.Lock()
+	f.calls++
+	var (
+		fail       bool
+		failStatus int
+	)
+	if f.failN > 0 {
+		f.failN--
+		fail, failStatus = true, f.failStatus
+	}
+	hang, malformed, latency := f.hang, f.malformed, f.latency
+	if fail || hang || malformed || latency > 0 {
+		f.faults++
+	}
+	f.mu.Unlock()
+
+	switch {
+	case hang:
+		<-r.Context().Done()
+		return
+	case fail:
+		w.Header().Set(backendErrHeader, "injected")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(failStatus)
+		_ = json.NewEncoder(w).Encode(errorJSON{Error: fmt.Sprintf("injected fault: status %d", failStatus)})
+		return
+	case malformed:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = io.WriteString(w, `{"profiles":[{"truncated`)
+		return
+	}
+	if latency > 0 {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(latency):
+		}
+	}
+	f.next.ServeHTTP(w, r)
+}

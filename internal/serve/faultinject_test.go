@@ -1,0 +1,114 @@
+package serve
+
+// Unit tests for the fault-injection middleware itself: every scripted
+// fault produces exactly the wire shape the chaos suite relies on, and
+// the injector is transparent when the script is clear.
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func okHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = io.WriteString(w, `{"status":"ok"}`+"\n")
+	})
+}
+
+func TestFaultInjectorPassThrough(t *testing.T) {
+	f := NewFaultInjector(okHandler())
+	code, body := get(t, f, "/healthz")
+	if code != http.StatusOK || string(body) != `{"status":"ok"}`+"\n" {
+		t.Fatalf("pass-through: %d %q", code, body)
+	}
+	if f.Calls() != 1 || f.Faults() != 0 {
+		t.Errorf("calls=%d faults=%d, want 1/0", f.Calls(), f.Faults())
+	}
+}
+
+func TestFaultInjectorFailNThenRecover(t *testing.T) {
+	f := NewFaultInjector(okHandler())
+	f.FailNext(2, 0) // default 503
+	for i := 0; i < 2; i++ {
+		code, body := get(t, f, "/x")
+		if code != http.StatusServiceUnavailable {
+			t.Fatalf("fault %d: status %d: %s", i, code, body)
+		}
+		var e errorJSON
+		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+			t.Fatalf("fault %d: not a JSON error: %q", i, body)
+		}
+	}
+	// The transport marker is what lets the router tell an injected
+	// crash from an application error.
+	f.FailNext(1, http.StatusBadGateway)
+	req := httptest.NewRequest(http.MethodGet, "/x", nil)
+	rec := httptest.NewRecorder()
+	f.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadGateway || rec.Header().Get(backendErrHeader) == "" {
+		t.Fatalf("scripted failure missing marker: %d %v", rec.Code, rec.Header())
+	}
+	// Script exhausted: back to pass-through.
+	if code, _ := get(t, f, "/x"); code != http.StatusOK {
+		t.Fatalf("recovered injector still failing: %d", code)
+	}
+	if f.Faults() != 3 {
+		t.Errorf("faults=%d, want 3", f.Faults())
+	}
+}
+
+func TestFaultInjectorHangHonorsCancel(t *testing.T) {
+	f := NewFaultInjector(okHandler())
+	f.SetHang(true)
+	ctx, cancel := context.WithCancel(context.Background())
+	req := httptest.NewRequest(http.MethodGet, "/x", nil).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		f.ServeHTTP(rec, req)
+	}()
+	select {
+	case <-done:
+		t.Fatal("hung request returned without cancellation")
+	case <-time.After(20 * time.Millisecond):
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("hung request did not unwind on context cancel")
+	}
+	f.Reset()
+	if code, _ := get(t, f, "/x"); code != http.StatusOK {
+		t.Fatal("Reset did not clear the hang")
+	}
+}
+
+func TestFaultInjectorMalformedAndLatency(t *testing.T) {
+	f := NewFaultInjector(okHandler())
+	f.SetMalformed(true)
+	code, body := get(t, f, "/x")
+	if code != http.StatusOK {
+		t.Fatalf("malformed fault: status %d", code)
+	}
+	var v any
+	if err := json.Unmarshal(body, &v); err == nil {
+		t.Fatalf("malformed body unexpectedly parsed: %q", body)
+	}
+	f.Reset()
+	f.SetLatency(10 * time.Millisecond)
+	start := time.Now()
+	if code, _ := get(t, f, "/x"); code != http.StatusOK {
+		t.Fatal("latency fault changed the answer")
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Errorf("latency fault returned after %v, want >= 10ms", d)
+	}
+}

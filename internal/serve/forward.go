@@ -1,0 +1,250 @@
+package serve
+
+// Fault-tolerant backend forwarding (DESIGN.md §13). Every routed
+// backend call — single-user forwards, bulk sub-batches, reload
+// fan-outs, health probes — goes through one machinery: the call is
+// buffered into a private recorder, bounded by a per-attempt deadline,
+// classified as an application answer or a transport failure, accounted
+// to the shard's circuit breaker, and (idempotent GETs only) retried on
+// a deterministic capped jittered backoff schedule. Buffering is what
+// makes deadlines and retries possible at all: nothing is written to
+// the client until an attempt has fully succeeded or the tier has
+// decided what failure to report.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"mlprofile/internal/randutil"
+)
+
+// Fault-tolerance defaults (Config leaves the knobs zero → these;
+// negative values disable the mechanism entirely).
+const (
+	DefaultBackendTimeout   = 5 * time.Second
+	DefaultRetries          = 2
+	DefaultRetryBackoff     = 25 * time.Millisecond
+	DefaultBreakerThreshold = 5
+	DefaultBreakerCooldown  = time.Second
+
+	// MaxRetryBackoff caps the doubled backoff schedule so a long retry
+	// chain cannot sleep past any reasonable request budget.
+	MaxRetryBackoff = 2 * time.Second
+)
+
+// backendErrHeader marks a response as manufactured by the tier's
+// transport layer (proxy dial/read failure, deadline, breaker fast-fail,
+// recovered panic, injected fault) rather than answered by a backend
+// handler. The router keys breaker accounting and retry eligibility off
+// it, so an application-level 4xx/5xx from a healthy backend is never
+// mistaken for a dead shard.
+const backendErrHeader = "X-Mlp-Backend-Error"
+
+// resolveDur maps a Config duration knob to its effective value:
+// 0 = def, negative = disabled (0).
+func resolveDur(v, def time.Duration) time.Duration {
+	if v == 0 {
+		return def
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// resolveInt maps a Config count knob to its effective value.
+func resolveInt(v, def int) int {
+	if v == 0 {
+		return def
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// transportFailure classifies a buffered response: true when it was
+// manufactured by the transport layer (marker header) or carries a
+// gateway-class status no tier handler emits on its own.
+func transportFailure(status int, header http.Header) bool {
+	if header.Get(backendErrHeader) != "" {
+		return true
+	}
+	switch status {
+	case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// runWithDeadline runs one backend handler against a private recorder,
+// giving up after d (0 = no deadline). On timeout the recorder is
+// abandoned to the still-running handler goroutine — the goroutine owns
+// it exclusively from that point, so there is no data race — and the
+// handler's context is cancelled so a deadline-honoring backend (a
+// reverse proxy, a hang-until-cancel fault) unwinds instead of leaking.
+// A handler panic is recovered and reported via panicVal rather than
+// aborting the router's connection.
+func runWithDeadline(h http.Handler, req *http.Request, d time.Duration) (*httptest.ResponseRecorder, any, bool) {
+	// Deliberately unnamed results: the handler goroutine captures rec,
+	// and a named result would be the same variable the timeout path's
+	// return statement writes — a data race.
+	rec := httptest.NewRecorder()
+	if d <= 0 {
+		var p any
+		func() {
+			defer func() { p = recover() }()
+			h.ServeHTTP(rec, req)
+		}()
+		return rec, p, false
+	}
+	ctx, cancel := context.WithTimeout(req.Context(), d)
+	defer cancel()
+	req = req.WithContext(ctx)
+	done := make(chan struct{})
+	var p any
+	go func() {
+		defer close(done)
+		defer func() { p = recover() }()
+		h.ServeHTTP(rec, req)
+	}()
+	select {
+	case <-done:
+		return rec, p, false
+	case <-ctx.Done():
+		return nil, nil, true
+	}
+}
+
+// callResult is one buffered forwarded answer, ready to copy to the
+// client or scatter into bulk error entries.
+type callResult struct {
+	status int
+	header http.Header
+	body   []byte
+
+	// transport marks tier-level failures (timeout, refused connection,
+	// breaker fast-fail, probe-down, panic) as opposed to application
+	// answers; only transport failures feed the breaker and retries.
+	transport bool
+}
+
+// errorResult manufactures a JSON error callResult with the transport
+// marker set to reason.
+func errorResult(status int, reason, format string, args ...any) callResult {
+	hdr := make(http.Header)
+	hdr.Set("Content-Type", "application/json")
+	hdr.Set(backendErrHeader, reason)
+	body, _ := json.Marshal(errorJSON{Error: fmt.Sprintf(format, args...)})
+	return callResult{status: status, header: hdr, body: append(body, '\n'), transport: true}
+}
+
+// backoffSchedule returns the retry delays for one call: delay i is
+// base·2^i (capped at MaxRetryBackoff) plus a jitter uniform in
+// [0, base). The jitter stream is SplitMix64(seed, stream) — a counter-
+// based PRNG — so a fixed (seed, stream) pair yields an exact,
+// reproducible schedule: tests assert the delays to the nanosecond.
+func backoffSchedule(base time.Duration, retries int, seed int64, stream uint64) []time.Duration {
+	if base <= 0 {
+		base = DefaultRetryBackoff
+	}
+	src := randutil.NewStreamSource(seed, stream)
+	out := make([]time.Duration, retries)
+	for i := range out {
+		d := base << uint(i)
+		if d > MaxRetryBackoff || d <= 0 {
+			d = MaxRetryBackoff
+		}
+		out[i] = d + time.Duration(src.Uint64()%uint64(base))
+	}
+	return out
+}
+
+// callOnce makes one deadline-bounded attempt against backend shard s.
+func (rt *Router) callOnce(ctx context.Context, s int, method, uri string, body []byte) callResult {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req := httptest.NewRequest(method, uri, rd).WithContext(ctx)
+	rec, panicVal, timedOut := runWithDeadline(rt.backends[s].handler, req, rt.timeout)
+	if timedOut {
+		rt.metrics.timeouts.Add(1)
+		rt.logf("serve: router: shard %d: %s %s timed out after %s", s, method, uri, rt.timeout)
+		return errorResult(http.StatusGatewayTimeout, "timeout",
+			"shard %d: backend timed out after %s", s, rt.timeout)
+	}
+	if panicVal != nil {
+		rt.metrics.panics.Add(1)
+		rt.logf("serve: router: shard %d: backend panic on %s %s: %v", s, method, uri, panicVal)
+		return errorResult(http.StatusBadGateway, "panic", "shard %d: backend panicked", s)
+	}
+	return callResult{
+		status:    rec.Code,
+		header:    rec.Header(),
+		body:      rec.Body.Bytes(),
+		transport: transportFailure(rec.Code, rec.Header()),
+	}
+}
+
+// unavailable is the fail-fast answer for a shard the router will not
+// even try: a JSON 503 naming the shard, so a single-user caller learns
+// which slice of the tier is degraded instead of hanging.
+func (rt *Router) unavailable(s int, reason string) callResult {
+	return errorResult(http.StatusServiceUnavailable, reason, "shard %d unavailable: %s", s, reason)
+}
+
+// call is the full fault-tolerant forward: probe gate, breaker gate,
+// deadline-bounded attempts, breaker accounting, and — for idempotent
+// calls only — capped jittered retries. Non-idempotent calls (bulk POST
+// sub-batches, reloads) get exactly one attempt.
+func (rt *Router) call(ctx context.Context, s int, method, uri string, body []byte, idempotent bool) callResult {
+	b := rt.backends[s]
+	if b.probeDown.Load() {
+		rt.metrics.fastFails.Add(1)
+		return rt.unavailable(s, "failed health probe")
+	}
+	if b.breaker != nil && !b.breaker.allow() {
+		rt.metrics.fastFails.Add(1)
+		return rt.unavailable(s, "circuit open")
+	}
+	attempts := 1
+	if idempotent {
+		attempts += rt.retries
+	}
+	var schedule []time.Duration
+	for i := 0; ; i++ {
+		res := rt.callOnce(ctx, s, method, uri, body)
+		if b.breaker != nil {
+			b.breaker.record(!res.transport)
+		}
+		if !res.transport {
+			return res
+		}
+		rt.metrics.backendErrors.Add(1)
+		if i+1 >= attempts {
+			return res
+		}
+		// The breaker may have opened on this very failure; a retry must
+		// re-qualify like any other call (half-open grants one trial).
+		if b.breaker != nil && !b.breaker.allow() {
+			rt.metrics.fastFails.Add(1)
+			return rt.unavailable(s, "circuit open")
+		}
+		if schedule == nil {
+			schedule = backoffSchedule(rt.backoff, attempts-1, rt.retrySeed, rt.callSeq.Add(1))
+		}
+		rt.metrics.retries.Add(1)
+		select {
+		case <-ctx.Done():
+			return res
+		case <-time.After(schedule[i]):
+		}
+	}
+}

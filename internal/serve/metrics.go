@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"encoding/json"
+	"fmt"
 	"math/bits"
 	"net/http"
 	"sync/atomic"
@@ -98,6 +100,17 @@ type metrics struct {
 
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
+
+	// Fault-tolerance counters (DESIGN.md §13), populated on the routed
+	// tier: transport-level backend failures, per-attempt deadline
+	// expirations, retried attempts, breaker/probe fast-fails, failed
+	// health probes, and recovered handler panics.
+	backendErrors atomic.Int64
+	timeouts      atomic.Int64
+	retries       atomic.Int64
+	fastFails     atomic.Int64
+	probeFailures atomic.Int64
+	panics        atomic.Int64
 }
 
 // observe records one finished request.
@@ -205,15 +218,33 @@ func route(ep int, h http.HandlerFunc) http.HandlerFunc {
 // instrument wraps the whole mux — matched routes and 404s alike — in
 // the counting middleware: the request counter moves before dispatch
 // (so an in-flight /stats sees itself), status and latency land after.
-func instrument(m *metrics, next http.Handler) http.Handler {
+// A handler panic is recovered into a counted JSON 500 instead of
+// aborting the connection; if the status line already left, the panic
+// is still counted and observed, the truncated body is all the client
+// gets.
+func instrument(m *metrics, logf func(format string, args ...any), next http.Handler) http.Handler {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w, endpoint: epOther, metrics: m}
 		start := time.Now()
 		m.endpoints[epOther].requests.Add(1) // provisional; route() reattributes
+		defer func() {
+			if p := recover(); p != nil {
+				m.panics.Add(1)
+				logf("serve: panic serving %s %s: %v", r.Method, r.URL.Path, p)
+				if sw.status == 0 {
+					sw.Header().Set("Content-Type", "application/json")
+					sw.WriteHeader(http.StatusInternalServerError)
+					_ = json.NewEncoder(sw).Encode(errorJSON{Error: fmt.Sprintf("internal error: %v", p)})
+				}
+			}
+			if sw.status == 0 {
+				sw.status = http.StatusOK
+			}
+			m.observe(sw.endpoint, time.Since(start), sw.status)
+		}()
 		next.ServeHTTP(sw, r)
-		if sw.status == 0 {
-			sw.status = http.StatusOK
-		}
-		m.observe(sw.endpoint, time.Since(start), sw.status)
 	})
 }

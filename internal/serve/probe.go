@@ -1,0 +1,79 @@
+package serve
+
+// Active health probing (DESIGN.md §13): the router periodically hits
+// every backend's GET /healthz through the same deadline-bounded
+// machinery as live traffic and marks the backend up or down. A down
+// mark makes the router fail fast — single-user requests get a JSON 503
+// naming the shard, bulk requests degrade that shard's entries — until
+// a later probe round sees the backend healthy again. Probes are
+// deliberately independent of the breaker: the breaker reacts to live
+// traffic failures with its own cooldown clock, probes detect dead or
+// revived processes even when no traffic is flowing.
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+)
+
+// StartProbes launches the background prober at cfg.ProbeInterval
+// (no-op when the interval is zero or negative). The prober runs one
+// round immediately, then one per tick, and stops when ctx ends.
+func (rt *Router) StartProbes(ctx context.Context) {
+	if rt.cfg.ProbeInterval <= 0 {
+		return
+	}
+	go func() {
+		ticker := time.NewTicker(rt.cfg.ProbeInterval)
+		defer ticker.Stop()
+		rt.ProbeOnce(ctx)
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				rt.ProbeOnce(ctx)
+			}
+		}
+	}()
+}
+
+// ProbeOnce probes every backend once, in parallel, and updates the
+// up/down marks. Exported so tests and chaos harnesses can drive probe
+// rounds deterministically instead of waiting on the ticker.
+func (rt *Router) ProbeOnce(ctx context.Context) {
+	var wg sync.WaitGroup
+	for s := range rt.backends {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			rt.probeBackend(ctx, s)
+		}(s)
+	}
+	wg.Wait()
+}
+
+// probeBackend makes one health probe against shard s. Up means a 200
+// from /healthz with no transport marker, within the backend deadline;
+// anything else — timeout, refused connection, panic, injected fault —
+// marks the shard down.
+func (rt *Router) probeBackend(ctx context.Context, s int) {
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil).WithContext(ctx)
+	rec, panicVal, timedOut := runWithDeadline(rt.backends[s].handler, req, rt.timeout)
+	up := !timedOut && panicVal == nil &&
+		rec.Code == http.StatusOK && rec.Header().Get(backendErrHeader) == ""
+	if !up {
+		rt.metrics.probeFailures.Add(1)
+	}
+	if wasDown := rt.backends[s].probeDown.Swap(!up); wasDown == up {
+		// The mark flipped: wasDown and up agree only on a transition
+		// (down→up when both true, up→down when both false).
+		if up {
+			rt.logf("serve: probe: shard %d is healthy again", s)
+		} else {
+			rt.logf("serve: probe: shard %d marked down", s)
+		}
+	}
+}

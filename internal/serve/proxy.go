@@ -1,0 +1,91 @@
+package serve
+
+// Reverse-proxy backends for fronting remote mlpserve processes
+// (DESIGN.md §12/§13). Each proxy gets its own transport with explicit
+// dial, TLS, and response-header timeouts — never http.DefaultTransport,
+// whose zero timeouts would let one dead backend pin a router goroutine
+// indefinitely — and a JSON ErrorHandler that answers 502 with the
+// transport marker set, so the router's breaker and retry machinery can
+// tell a dead peer from an application error.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// ProxyConfig tunes the per-backend reverse proxies. Zero values mean
+// the defaults below.
+type ProxyConfig struct {
+	// DialTimeout bounds establishing one TCP connection (and the TLS
+	// handshake) to a backend. Default 2s.
+	DialTimeout time.Duration
+
+	// ResponseHeaderTimeout bounds the wait for a backend's response
+	// headers once the request is written. Default DefaultBackendTimeout.
+	// The router's total per-attempt deadline still applies on top.
+	ResponseHeaderTimeout time.Duration
+
+	// Logf receives proxy transport errors; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+const defaultDialTimeout = 2 * time.Second
+
+// ProxyBackends builds reverse-proxy backends from base URLs (one per
+// shard, in shard order) with default timeouts.
+func ProxyBackends(rawURLs []string) ([]http.Handler, error) {
+	return ProxyBackendsWith(rawURLs, ProxyConfig{})
+}
+
+// ProxyBackendsWith builds reverse-proxy backends with explicit
+// transport timeouts.
+func ProxyBackendsWith(rawURLs []string, pcfg ProxyConfig) ([]http.Handler, error) {
+	dial := pcfg.DialTimeout
+	if dial <= 0 {
+		dial = defaultDialTimeout
+	}
+	rhTimeout := pcfg.ResponseHeaderTimeout
+	if rhTimeout <= 0 {
+		rhTimeout = DefaultBackendTimeout
+	}
+	logf := pcfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	out := make([]http.Handler, len(rawURLs))
+	for i, raw := range rawURLs {
+		u, err := url.Parse(strings.TrimSpace(raw))
+		if err != nil {
+			return nil, fmt.Errorf("backend %d: %w", i, err)
+		}
+		if u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("backend %d: %q is not an absolute URL", i, raw)
+		}
+		p := httputil.NewSingleHostReverseProxy(u)
+		p.Transport = &http.Transport{
+			DialContext:           (&net.Dialer{Timeout: dial}).DialContext,
+			TLSHandshakeTimeout:   dial,
+			ResponseHeaderTimeout: rhTimeout,
+			MaxIdleConnsPerHost:   32,
+			IdleConnTimeout:       90 * time.Second,
+		}
+		host := u.Host
+		p.ErrorHandler = func(w http.ResponseWriter, r *http.Request, err error) {
+			logf("serve: proxy %s: %s %s: %v", host, r.Method, r.URL.Path, err)
+			w.Header().Set(backendErrHeader, "proxy")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusBadGateway)
+			_ = json.NewEncoder(w).Encode(errorJSON{
+				Error: fmt.Sprintf("backend %s: %v", host, err),
+			})
+		}
+		out[i] = p
+	}
+	return out, nil
+}

@@ -5,11 +5,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
-	"net/http/httputil"
-	"net/url"
 	"strconv"
-	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mlprofile/internal/core"
@@ -33,30 +31,67 @@ import (
 //	/venue-prob       → shard 0 (venue counts are not user-placed)
 //	/reload           → every backend; ok only if all swap
 //	/healthz, /stats  → answered by the router itself
+//
+// Every forward is fault-tolerant (DESIGN.md §13): deadline-bounded,
+// breaker-gated, probe-gated, and — idempotent GETs only — retried on a
+// deterministic jittered backoff. A down shard degrades (fast JSON 503
+// naming the shard; per-entry 503 objects in bulk) instead of hanging
+// the tier.
 type Router struct {
 	corpus   *dataset.Corpus
 	byHandle map[string]dataset.UserID
-	backends []http.Handler
+	backends []*routerBackend
+
+	cfg       Config
+	timeout   time.Duration // resolved per-attempt forward deadline; 0 = none
+	retries   int           // resolved extra attempts for idempotent GETs
+	backoff   time.Duration // resolved retry backoff base
+	retrySeed int64
+	callSeq   atomic.Uint64 // per-call jitter stream selector
 
 	started time.Time
 	metrics *metrics
 	logf    func(format string, args ...any)
 }
 
+// routerBackend is one shard's backend plus its fault-tolerance state.
+type routerBackend struct {
+	handler   http.Handler
+	breaker   *breaker    // nil = breakers disabled
+	probeDown atomic.Bool // set by the active prober; false until a probe fails
+}
+
 // NewRouter builds a router over one backend handler per shard.
 // Backend index s must serve the users dataset.ShardOf assigns to shard
-// s of len(backends).
-func NewRouter(c *dataset.Corpus, backends []http.Handler, logf func(format string, args ...any)) *Router {
+// s of len(backends). cfg supplies the fault-tolerance knobs
+// (BackendTimeout, Retries, BreakerThreshold, ProbeInterval, …); the
+// zero Config means production defaults.
+func NewRouter(c *dataset.Corpus, backends []http.Handler, cfg Config) *Router {
+	logf := cfg.Logf
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
 	rt := &Router{
-		corpus:   c,
-		byHandle: make(map[string]dataset.UserID, len(c.Users)),
-		backends: backends,
-		started:  time.Now(),
-		metrics:  &metrics{},
-		logf:     logf,
+		corpus:    c,
+		byHandle:  make(map[string]dataset.UserID, len(c.Users)),
+		cfg:       cfg,
+		timeout:   resolveDur(cfg.BackendTimeout, DefaultBackendTimeout),
+		retries:   resolveInt(cfg.Retries, DefaultRetries),
+		backoff:   resolveDur(cfg.RetryBackoff, DefaultRetryBackoff),
+		retrySeed: cfg.RetrySeed,
+		started:   time.Now(),
+		metrics:   &metrics{},
+		logf:      logf,
+	}
+	threshold := resolveInt(cfg.BreakerThreshold, DefaultBreakerThreshold)
+	cooldown := resolveDur(cfg.BreakerCooldown, DefaultBreakerCooldown)
+	rt.backends = make([]*routerBackend, len(backends))
+	for s, h := range backends {
+		b := &routerBackend{handler: h}
+		if threshold > 0 {
+			b.breaker = newBreaker(threshold, cooldown, fmt.Sprintf("shard %d", s), logf)
+		}
+		rt.backends[s] = b
 	}
 	for _, u := range c.Users {
 		rt.byHandle[u.Handle] = u.ID
@@ -86,31 +121,14 @@ func NewShardRouter(c *dataset.Corpus, snapshotDir string, cfg Config) (*Router,
 		scfg.Shard, scfg.Shards = s, shards
 		backends[s] = NewServer(m, c, scfg).Handler()
 	}
-	return NewRouter(c, backends, cfg.Logf), nil
-}
-
-// ProxyBackends builds reverse-proxy backends from base URLs (one per
-// shard, in shard order) for fronting remote mlpserve processes.
-func ProxyBackends(rawURLs []string) ([]http.Handler, error) {
-	out := make([]http.Handler, len(rawURLs))
-	for i, raw := range rawURLs {
-		u, err := url.Parse(strings.TrimSpace(raw))
-		if err != nil {
-			return nil, fmt.Errorf("backend %d: %w", i, err)
-		}
-		if u.Scheme == "" || u.Host == "" {
-			return nil, fmt.Errorf("backend %d: %q is not an absolute URL", i, raw)
-		}
-		out[i] = httputil.NewSingleHostReverseProxy(u)
-	}
-	return out, nil
+	return NewRouter(c, backends, cfg), nil
 }
 
 // Shards returns the backend count.
 func (rt *Router) Shards() int { return len(rt.backends) }
 
-// Handler returns the routing mux wrapped in the same counting
-// middleware the per-shard servers use.
+// Handler returns the routing mux wrapped in the same counting (and
+// panic-recovering) middleware the per-shard servers use.
 func (rt *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", route(epHealthz, rt.handleHealthz))
@@ -120,12 +138,14 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("GET /edge/{id}/explanation", route(epEdge, rt.handleEdge))
 	mux.HandleFunc("GET /venue-prob", route(epVenueProb, rt.handleVenueProb))
 	mux.HandleFunc("POST /reload", route(epReload, rt.handleReload))
-	return instrument(rt.metrics, mux)
+	return instrument(rt.metrics, rt.logf, mux)
 }
 
 // ListenAndServe runs the router on addr with the tier's lifecycle
-// contract (graceful drain, ready close on all paths).
+// contract (graceful drain, ready close on all paths) and the active
+// health prober running for the server's lifetime.
 func (rt *Router) ListenAndServe(ctx context.Context, addr string, ready chan<- string) error {
+	rt.StartProbes(ctx)
 	return ListenAndServe(ctx, addr, ready, rt.Handler())
 }
 
@@ -137,17 +157,63 @@ func (rt *Router) fail(w http.ResponseWriter, status int, format string, args ..
 	rt.writeJSON(w, status, errorJSON{Error: fmt.Sprintf(format, args...)})
 }
 
-// forward hands the request to backend shard s unchanged.
+// forward hands the request to backend shard s through the fault-
+// tolerant call path and copies the buffered answer out. GETs are
+// idempotent and may be retried; everything else gets one attempt.
 func (rt *Router) forward(s int, w http.ResponseWriter, r *http.Request) {
-	rt.backends[s].ServeHTTP(w, r)
+	res := rt.call(r.Context(), s, r.Method, r.URL.RequestURI(), nil, r.Method == http.MethodGet)
+	copyResult(w, res)
+}
+
+// copyResult writes a buffered backend answer to the client unchanged,
+// so routed responses stay byte-identical to direct backend responses.
+func copyResult(w http.ResponseWriter, res callResult) {
+	h := w.Header()
+	for k, vs := range res.header {
+		h[k] = vs
+	}
+	w.WriteHeader(res.status)
+	_, _ = w.Write(res.body)
+}
+
+// backendHealthJSON is one shard's health line in /healthz and /stats.
+type backendHealthJSON struct {
+	Shard   int    `json:"shard"`
+	Healthy bool   `json:"healthy"`
+	Breaker string `json:"breaker"` // closed | open | half-open | off
+	Opens   int64  `json:"breaker_opens,omitempty"`
+}
+
+// backendHealth snapshots per-shard status. ok is true only when every
+// shard is probe-up with a closed (or disabled) breaker.
+func (rt *Router) backendHealth() (out []backendHealthJSON, ok bool) {
+	out = make([]backendHealthJSON, len(rt.backends))
+	ok = true
+	for s, b := range rt.backends {
+		e := backendHealthJSON{Shard: s, Healthy: !b.probeDown.Load(), Breaker: "off"}
+		if b.breaker != nil {
+			e.Breaker, e.Opens = b.breaker.snapshot()
+		}
+		if !e.Healthy || e.Breaker == "open" || e.Breaker == "half-open" {
+			ok = false
+		}
+		out[s] = e
+	}
+	return out, ok
 }
 
 func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	backends, ok := rt.backendHealth()
+	status := "ok"
+	if !ok {
+		status = "degraded"
+	}
 	rt.writeJSON(w, http.StatusOK, map[string]any{
-		"status":         "ok",
+		"status":         status,
 		"role":           "router",
 		"shards":         len(rt.backends),
 		"uptime_seconds": time.Since(rt.started).Seconds(),
+		"backends":       backends,
 	})
 }
 
@@ -163,12 +229,26 @@ type routerStatsJSON struct {
 	Requests      int64                        `json:"requests"`
 	Errors        int64                        `json:"errors"`
 	Endpoints     map[string]endpointStatsJSON `json:"endpoints"`
+
+	// Fault-tolerance counters (DESIGN.md §13).
+	Backends      []backendHealthJSON `json:"backends"`
+	BackendErrors int64               `json:"backend_errors"`
+	Timeouts      int64               `json:"timeouts"`
+	Retries       int64               `json:"retries"`
+	FastFails     int64               `json:"fast_fails"`
+	ProbeFailures int64               `json:"probe_failures"`
+	Panics        int64               `json:"panics"`
 }
 
 func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 	requests, errs := rt.metrics.totals()
+	backends, ok := rt.backendHealth()
+	status := "ok"
+	if !ok {
+		status = "degraded"
+	}
 	rt.writeJSON(w, http.StatusOK, routerStatsJSON{
-		Status:        "ok",
+		Status:        status,
 		Role:          "router",
 		Shards:        len(rt.backends),
 		Users:         len(rt.corpus.Users),
@@ -177,6 +257,13 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 		Requests:      requests,
 		Errors:        errs,
 		Endpoints:     rt.metrics.endpointStats(time.Since(rt.started)),
+		Backends:      backends,
+		BackendErrors: rt.metrics.backendErrors.Load(),
+		Timeouts:      rt.metrics.timeouts.Load(),
+		Retries:       rt.metrics.retries.Load(),
+		FastFails:     rt.metrics.fastFails.Load(),
+		ProbeFailures: rt.metrics.probeFailures.Load(),
+		Panics:        rt.metrics.panics.Load(),
 	})
 }
 
@@ -192,7 +279,9 @@ func (rt *Router) handleProfile(w http.ResponseWriter, r *http.Request) {
 // handleProfiles splits one bulk batch by owning shard, fans the
 // per-shard sub-batches out concurrently, and merges the answers back
 // into request order, so a caller sees exactly the response one big
-// backend would produce.
+// backend would produce. A failed shard degrades to per-entry error
+// objects — a 503 per entry it owned — while every other shard's
+// entries come back byte-identical to a fully healthy run.
 func (rt *Router) handleProfiles(w http.ResponseWriter, r *http.Request) {
 	users, top, err := parseBulk(r)
 	if err != nil {
@@ -223,17 +312,23 @@ func (rt *Router) handleProfiles(w http.ResponseWriter, r *http.Request) {
 			defer wg.Done()
 			body, err := json.Marshal(bulkRequestJSON{Users: rawUsers(perShard[s]), Top: top})
 			if err != nil {
-				rt.scatterError(&out, perShardPos[s], "shard %d: marshal sub-batch: %v", s, err)
+				rt.scatterError(&out, perShardPos[s], s, http.StatusInternalServerError, "shard %d: marshal sub-batch: %v", s, err)
 				return
 			}
-			status, resp := Do(rt.backends[s], http.MethodPost, "/profiles", body)
-			if status != http.StatusOK {
-				rt.scatterError(&out, perShardPos[s], "shard %d: status %d: %s", s, status, strings.TrimSpace(string(resp)))
+			res := rt.call(r.Context(), s, http.MethodPost, "/profiles", body, false)
+			if res.status != http.StatusOK {
+				status := res.status
+				if res.transport {
+					// A dead, hung, or breaker-open shard degrades to
+					// per-entry 503s; the batch itself still succeeds.
+					status = http.StatusServiceUnavailable
+				}
+				rt.scatterError(&out, perShardPos[s], s, status, "shard %d: %s", s, trimmedError(res.body))
 				return
 			}
 			var sub bulkResponseJSON
-			if err := json.Unmarshal(resp, &sub); err != nil || len(sub.Profiles) != len(perShardPos[s]) {
-				rt.scatterError(&out, perShardPos[s], "shard %d: bad sub-batch response", s)
+			if err := json.Unmarshal(res.body, &sub); err != nil || len(sub.Profiles) != len(perShardPos[s]) {
+				rt.scatterError(&out, perShardPos[s], s, http.StatusBadGateway, "shard %d: bad sub-batch response", s)
 				return
 			}
 			for j, pos := range perShardPos[s] {
@@ -245,10 +340,36 @@ func (rt *Router) handleProfiles(w http.ResponseWriter, r *http.Request) {
 	rt.writeJSON(w, http.StatusOK, out)
 }
 
-// scatterError fills every listed output position with the same error
-// entry (one backend's whole sub-batch failed).
-func (rt *Router) scatterError(out *bulkResponseJSON, positions []int, format string, args ...any) {
-	entry := errorEntry(format, args...)
+// trimmedError extracts a compact message from a buffered error body.
+func trimmedError(body []byte) string {
+	var e errorJSON
+	if err := json.Unmarshal(body, &e); err == nil && e.Error != "" {
+		return e.Error
+	}
+	const max = 200
+	s := string(body)
+	if len(s) > max {
+		s = s[:max]
+	}
+	return s
+}
+
+// shardErrorEntry renders a per-entry bulk error object carrying the
+// failing shard and the effective per-entry status (503 for a degraded
+// shard), so bulk callers can tell a down slice from an unknown user.
+func shardErrorEntry(shard, status int, format string, args ...any) json.RawMessage {
+	body, _ := json.Marshal(struct {
+		Error  string `json:"error"`
+		Status int    `json:"status"`
+		Shard  int    `json:"shard"`
+	}{Error: fmt.Sprintf(format, args...), Status: status, Shard: shard})
+	return body
+}
+
+// scatterError fills every listed output position with the same
+// per-entry error object (one backend's whole sub-batch failed).
+func (rt *Router) scatterError(out *bulkResponseJSON, positions []int, shard, status int, format string, args ...any) {
+	entry := shardErrorEntry(shard, status, format, args...)
 	rt.logf("serve: router: %s", fmt.Sprintf(format, args...))
 	for _, pos := range positions {
 		out.Profiles[pos] = entry
@@ -298,12 +419,12 @@ func (rt *Router) handleReload(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			status, body := Do(rt.backends[s], http.MethodPost, "/reload", nil)
-			if status == http.StatusOK {
+			res := rt.call(r.Context(), s, http.MethodPost, "/reload", nil, false)
+			if res.status == http.StatusOK {
 				results[s] = "ok"
 				return
 			}
-			results[s] = fmt.Sprintf("status %d: %s", status, strings.TrimSpace(string(body)))
+			results[s] = fmt.Sprintf("status %d: %s", res.status, trimmedError(res.body))
 		}(s)
 	}
 	wg.Wait()

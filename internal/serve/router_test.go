@@ -10,9 +10,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"sync"
 	"testing"
+	"time"
 
 	"mlprofile/internal/core"
 	"mlprofile/internal/dataset"
@@ -104,7 +106,7 @@ func TestRouterAnswersEveryUserFromOwningShard(t *testing.T) {
 	for i, b := range backends {
 		handlers[i] = b
 	}
-	rt := NewRouter(&d.Corpus, handlers, nil)
+	rt := NewRouter(&d.Corpus, handlers, Config{})
 	h := rt.Handler()
 	full := New(m, &d.Corpus).Handler()
 
@@ -316,8 +318,8 @@ func TestConcurrentRouterReads(t *testing.T) {
 	wg.Wait()
 }
 
-// TestProxyBackends validates URL parsing only — the HTTP path itself
-// is covered by the in-process handlers sharing the same interface.
+// TestProxyBackends validates URL parsing; the HTTP path is covered by
+// the end-to-end tests below.
 func TestProxyBackends(t *testing.T) {
 	bs, err := ProxyBackends([]string{"http://127.0.0.1:1", " http://10.0.0.2:8080 "})
 	if err != nil || len(bs) != 2 {
@@ -325,5 +327,156 @@ func TestProxyBackends(t *testing.T) {
 	}
 	if _, err := ProxyBackends([]string{"not a url"}); err == nil {
 		t.Error("relative backend URL accepted")
+	}
+}
+
+// proxyDeployment starts one real HTTP listener per shard backend and
+// returns proxy handlers pointed at them. Closing is deferred to test
+// cleanup.
+func proxyDeployment(t *testing.T, d *dataset.Dataset, dir string, pcfg ProxyConfig) []http.Handler {
+	t.Helper()
+	urls := make([]string, routerShards)
+	for s, b := range shardBackends(t, d, dir) {
+		ts := httptest.NewServer(b)
+		t.Cleanup(ts.Close)
+		urls[s] = ts.URL
+	}
+	bs, err := ProxyBackendsWith(urls, pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bs
+}
+
+// TestProxyEndToEndRoutedBytes is the remote-deployment lock: a router
+// whose backends are reverse proxies over real HTTP listeners (each
+// running a partial-shard mlpserve handler) answers byte-identically to
+// the in-process NewShardRouter over the same snapshot — for every
+// user, and for a bulk request spanning every shard.
+func TestProxyEndToEndRoutedBytes(t *testing.T) {
+	d, _, dir := routerFixture(t)
+	proxied := NewRouter(&d.Corpus, proxyDeployment(t, d, dir, ProxyConfig{}), Config{})
+	local, err := NewShardRouter(&d.Corpus, dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph, lh := proxied.Handler(), local.Handler()
+
+	for u := range d.Corpus.Users {
+		path := fmt.Sprintf("/profile/%d?top=3", u)
+		pc, pb := get(t, ph, path)
+		lc, lb := get(t, lh, path)
+		if pc != http.StatusOK || pc != lc || !bytes.Equal(pb, lb) {
+			t.Fatalf("user %d: proxied %d %q, in-process %d %q", u, pc, pb, lc, lb)
+		}
+	}
+
+	refs := make([]json.RawMessage, len(d.Corpus.Users))
+	for u := range d.Corpus.Users {
+		refs[u], _ = json.Marshal(fmt.Sprintf("%d", u))
+	}
+	body, err := json.Marshal(bulkRequestJSON{Users: refs, Top: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, pb := Do(ph, http.MethodPost, "/profiles", body)
+	lc, lb := Do(lh, http.MethodPost, "/profiles", body)
+	if pc != http.StatusOK || pc != lc || !bytes.Equal(pb, lb) {
+		t.Fatalf("bulk: proxied %d, in-process %d, bytes equal %v", pc, lc, bytes.Equal(pb, lb))
+	}
+}
+
+// TestProxyBackendConnectionRefused: a backend whose listener is gone
+// answers through the proxy ErrorHandler as a counted JSON 502 — the
+// router survives and names the failure.
+func TestProxyBackendConnectionRefused(t *testing.T) {
+	d, _, dir := routerFixture(t)
+	bs := proxyDeployment(t, d, dir, ProxyConfig{})
+	// Replace shard 0's proxy with one whose listener is already closed.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+	deadProxy, err := ProxyBackendsWith([]string{dead.URL}, ProxyConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs[0] = deadProxy[0]
+	rt := NewRouter(&d.Corpus, bs, Config{Retries: -1, BreakerThreshold: -1})
+	h := rt.Handler()
+
+	var u dataset.UserID
+	for i := range d.Corpus.Users {
+		if dataset.ShardOf(dataset.UserID(i), routerShards) == 0 {
+			u = dataset.UserID(i)
+			break
+		}
+	}
+	start := time.Now()
+	code, body := get(t, h, fmt.Sprintf("/profile/%d", u))
+	if code != http.StatusBadGateway && code != http.StatusServiceUnavailable {
+		t.Fatalf("dead backend: status %d: %s", code, body)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("connection-refused answer took %v", d)
+	}
+	var e errorJSON
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+		t.Fatalf("dead backend answer is not a JSON error: %q", body)
+	}
+	_, stats := get(t, h, "/stats")
+	var st routerStatsJSON
+	if err := json.Unmarshal(stats, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.BackendErrors < 1 {
+		t.Errorf("backend_errors=%d, want >=1", st.BackendErrors)
+	}
+}
+
+// TestProxyBackendTimeout: a backend that sits on the request past the
+// forward deadline is cut off with a 504 in deadline time, not
+// transport time.
+func TestProxyBackendTimeout(t *testing.T) {
+	d, _, dir := routerFixture(t)
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+		case <-time.After(5 * time.Second):
+		}
+	}))
+	t.Cleanup(slow.Close)
+	slowProxy, err := ProxyBackendsWith([]string{slow.URL}, ProxyConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := proxyDeployment(t, d, dir, ProxyConfig{})
+	bs[0] = slowProxy[0]
+	rt := NewRouter(&d.Corpus, bs, Config{
+		BackendTimeout: 60 * time.Millisecond, Retries: -1, BreakerThreshold: -1,
+	})
+	h := rt.Handler()
+
+	var u dataset.UserID
+	for i := range d.Corpus.Users {
+		if dataset.ShardOf(dataset.UserID(i), routerShards) == 0 {
+			u = dataset.UserID(i)
+			break
+		}
+	}
+	start := time.Now()
+	code, body := get(t, h, fmt.Sprintf("/profile/%d", u))
+	elapsed := time.Since(start)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("slow backend: status %d: %s", code, body)
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("timeout answer took %v, want ~60ms", elapsed)
+	}
+	_, stats := get(t, h, "/stats")
+	var st routerStatsJSON
+	if err := json.Unmarshal(stats, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Timeouts < 1 {
+		t.Errorf("timeouts=%d, want >=1", st.Timeouts)
 	}
 }

@@ -72,6 +72,42 @@ type Config struct {
 
 	// Logf receives serve-layer diagnostics; nil discards them.
 	Logf func(format string, args ...any)
+
+	// Fault tolerance for the routed tier (DESIGN.md §13). Every knob
+	// follows one convention: zero means the production default from
+	// forward.go, negative disables the mechanism. Servers ignore these;
+	// only a Router consumes them.
+
+	// BackendTimeout bounds one forwarded backend attempt end to end
+	// (dial + headers + body for proxies, the handler run for in-process
+	// backends). Default DefaultBackendTimeout.
+	BackendTimeout time.Duration
+
+	// Retries is the number of extra attempts for idempotent GET
+	// forwards that fail at the transport layer. Default DefaultRetries.
+	Retries int
+
+	// RetryBackoff is the delay before the first retry; it doubles per
+	// attempt (capped at MaxRetryBackoff) and is jittered by up to one
+	// base. Default DefaultRetryBackoff.
+	RetryBackoff time.Duration
+
+	// RetrySeed seeds the backoff jitter stream. Any fixed seed makes
+	// the whole schedule deterministic (see backoffSchedule).
+	RetrySeed int64
+
+	// BreakerThreshold consecutive transport failures open a backend's
+	// circuit; while open the router fails fast. Default
+	// DefaultBreakerThreshold; negative disables breakers.
+	BreakerThreshold int
+
+	// BreakerCooldown is the open → half-open delay. Default
+	// DefaultBreakerCooldown.
+	BreakerCooldown time.Duration
+
+	// ProbeInterval is the active health-probe cadence for
+	// Router.StartProbes. Zero or negative disables probing.
+	ProbeInterval time.Duration
 }
 
 // state is everything one snapshot generation serves from. It is
@@ -290,7 +326,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /edge/{id}/explanation", route(epEdge, s.handleEdge))
 	mux.HandleFunc("GET /venue-prob", route(epVenueProb, s.handleVenueProb))
 	mux.HandleFunc("POST /reload", route(epReload, s.handleReload))
-	return instrument(s.metrics, mux)
+	return instrument(s.metrics, s.logf, mux)
 }
 
 // writeJSON encodes v as the response body. Encode failures (client
