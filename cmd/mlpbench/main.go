@@ -1,8 +1,13 @@
 // Command mlpbench runs the sampler benchmark matrix — edge kernel ×
-// distance mode × ψ̂-store mode × draw pipeline × worker count — on a
-// synthetic world and writes the results as JSON, so the performance
-// trajectory is tracked as a checked-in artifact from PR to PR instead
-// of scrollback.
+// distance mode × ψ̂-store mode × draw pipeline × worker count, plus a
+// batch/layout ablation block and the shard axis — on a synthetic world
+// and writes the results as JSON, so the performance trajectory is
+// tracked as a checked-in artifact from PR to PR instead of scrollback.
+//
+// Every cell also records a per-phase breakdown (edge / tweet / fold /
+// shard / boundary seconds per sweep, from Model.PhaseSeconds), and the
+// measured fits run under pprof phase labels, so a -cpuprofile capture
+// attributes samples to sweep phases by name.
 //
 // Usage:
 //
@@ -41,6 +46,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strings"
 	"time"
 
 	"mlprofile/internal/core"
@@ -50,17 +56,20 @@ import (
 
 // Result is one benchmark matrix cell.
 type Result struct {
-	Name         string  `json:"name"`
-	Kernel       string  `json:"kernel"`
-	Dist         string  `json:"dist"`
-	Psi          string  `json:"psi"`
-	Draw         string  `json:"draw"`
-	Workers      int     `json:"workers"`
-	Shards       int     `json:"shards,omitempty"`
-	Stale        bool    `json:"stale,omitempty"`
-	InitSeconds  float64 `json:"init_seconds"`
-	SweepSeconds float64 `json:"sweep_seconds"`
-	RelsPerSec   float64 `json:"rels_per_sec"`
+	Name         string             `json:"name"`
+	Kernel       string             `json:"kernel"`
+	Dist         string             `json:"dist"`
+	Psi          string             `json:"psi"`
+	Draw         string             `json:"draw"`
+	Batch        string             `json:"batch,omitempty"`
+	Layout       string             `json:"layout,omitempty"`
+	Workers      int                `json:"workers"`
+	Shards       int                `json:"shards,omitempty"`
+	Stale        bool               `json:"stale,omitempty"`
+	InitSeconds  float64            `json:"init_seconds"`
+	SweepSeconds float64            `json:"sweep_seconds"`
+	RelsPerSec   float64            `json:"rels_per_sec"`
+	PhaseSeconds map[string]float64 `json:"phase_seconds,omitempty"`
 }
 
 // Report is the emitted JSON document.
@@ -155,24 +164,65 @@ func main() {
 					for _, workers := range workerCounts {
 						cfg := core.Config{Seed: *seed, NoiseBurnIn: 1, Workers: workers,
 							BlockedSampler: kernel.blocked, DistTable: dist, PsiStore: psi, FusedDraw: draw}
-						initS, perSweep := measureCell(c, cfg, *sweeps, *count)
+						initS, perSweep, phases := measureCell(c, cfg, *sweeps, *count)
 						r := Result{
-							Name: fmt.Sprintf("kernel=%s/dist=%s/psi=%s/draw=%s/workers=%d",
-								kernel.name, dist, psi, draw, workers),
+							Name: fmt.Sprintf("kernel=%s/dist=%s/psi=%s/draw=%s/batch=%s/layout=%s/workers=%d",
+								kernel.name, dist, psi, draw, cfg.TweetBatch, cfg.Layout, workers),
 							Kernel:       kernel.name,
 							Dist:         dist.String(),
 							Psi:          psi.String(),
 							Draw:         draw.String(),
+							Batch:        cfg.TweetBatch.String(),
+							Layout:       cfg.Layout.String(),
 							Workers:      workers,
 							InitSeconds:  initS,
 							SweepSeconds: perSweep,
 							RelsPerSec:   float64(rels) / perSweep,
+							PhaseSeconds: phases,
 						}
 						rep.Results = append(rep.Results, r)
-						log.Printf("%-60s sweep %8.2fms  %10.0f rels/s", r.Name, r.SweepSeconds*1e3, r.RelsPerSec)
+						logCell(&r)
 					}
 				}
 			}
+		}
+	}
+
+	// Batch/layout ablation: the matrix above runs the round-4 levers at
+	// their defaults (batch=author, layout=flat), so these cells turn
+	// each lever off at the fast-path corner — the win each one buys
+	// stays visible run over run instead of only in the PR that landed
+	// it.
+	for _, bl := range []struct {
+		batch  core.TweetBatchMode
+		layout core.LayoutMode
+	}{
+		{core.TweetBatchOff, core.LayoutOff},
+		{core.TweetBatchOn, core.LayoutOff},
+		{core.TweetBatchOff, core.LayoutOn},
+	} {
+		for _, workers := range workerCounts {
+			cfg := core.Config{Seed: *seed, NoiseBurnIn: 1, Workers: workers,
+				DistTable: core.DistTableOn, PsiStore: core.PsiStoreOn, FusedDraw: core.FusedDrawOn,
+				TweetBatch: bl.batch, Layout: bl.layout}
+			initS, perSweep, phases := measureCell(c, cfg, *sweeps, *count)
+			r := Result{
+				Name: fmt.Sprintf("kernel=pervar/dist=table/psi=venue/draw=fused/batch=%s/layout=%s/workers=%d",
+					bl.batch, bl.layout, workers),
+				Kernel:       "pervar",
+				Dist:         core.DistTableOn.String(),
+				Psi:          core.PsiStoreOn.String(),
+				Draw:         core.FusedDrawOn.String(),
+				Batch:        bl.batch.String(),
+				Layout:       bl.layout.String(),
+				Workers:      workers,
+				InitSeconds:  initS,
+				SweepSeconds: perSweep,
+				RelsPerSec:   float64(rels) / perSweep,
+				PhaseSeconds: phases,
+			}
+			rep.Results = append(rep.Results, r)
+			logCell(&r)
 		}
 	}
 
@@ -186,8 +236,9 @@ func main() {
 	}{{2, false}, {4, false}, {4, true}} {
 		cfg := core.Config{Seed: *seed, NoiseBurnIn: 1, Shards: sc.shards, StaleBoundary: sc.stale,
 			DistTable: core.DistTableOn, PsiStore: core.PsiStoreOn, FusedDraw: core.FusedDrawOn}
-		initS, perSweep := measureCell(c, cfg, *sweeps, *count)
-		name := fmt.Sprintf("kernel=pervar/dist=table/psi=venue/draw=fused/shards=%d", sc.shards)
+		initS, perSweep, phases := measureCell(c, cfg, *sweeps, *count)
+		name := fmt.Sprintf("kernel=pervar/dist=table/psi=venue/draw=fused/batch=%s/layout=%s/shards=%d",
+			cfg.TweetBatch, cfg.Layout, sc.shards)
 		if sc.stale {
 			name += "/stale"
 		}
@@ -197,14 +248,17 @@ func main() {
 			Dist:         core.DistTableOn.String(),
 			Psi:          core.PsiStoreOn.String(),
 			Draw:         core.FusedDrawOn.String(),
+			Batch:        cfg.TweetBatch.String(),
+			Layout:       cfg.Layout.String(),
 			Shards:       sc.shards,
 			Stale:        sc.stale,
 			InitSeconds:  initS,
 			SweepSeconds: perSweep,
 			RelsPerSec:   float64(rels) / perSweep,
+			PhaseSeconds: phases,
 		}
 		rep.Results = append(rep.Results, r)
-		log.Printf("%-60s sweep %8.2fms  %10.0f rels/s", r.Name, r.SweepSeconds*1e3, r.RelsPerSec)
+		logCell(&r)
 	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
@@ -249,29 +303,61 @@ func fatal(v ...any) {
 // one with sweeps Gibbs iterations — repeated count times. Each
 // measurement is the (tN - t1)/sweeps pair, so per-run init jitter
 // cancels inside the pair, and the median discards the cross-run
-// outliers noisy runners produce.
-func measureCell(c *dataset.Corpus, cfg core.Config, sweeps, count int) (initS, perSweep float64) {
-	timeFit := func(iters int) float64 {
+// outliers noisy runners produce. The per-phase breakdown comes from the
+// same pair: (phaseN - phase1)/sweeps per phase name, median per key.
+func measureCell(c *dataset.Corpus, cfg core.Config, sweeps, count int) (initS, perSweep float64, phases map[string]float64) {
+	timeFit := func(iters int) (float64, map[string]float64) {
 		cfg.Iterations = iters
 		start := time.Now()
-		if _, err := core.Fit(c, cfg); err != nil {
+		m, err := core.Fit(c, cfg)
+		if err != nil {
 			fatal(err)
 		}
-		return time.Since(start).Seconds()
+		return time.Since(start).Seconds(), m.PhaseSeconds()
 	}
 	inits := make([]float64, 0, count)
 	perSweeps := make([]float64, 0, count)
+	phaseRuns := map[string][]float64{}
 	for r := 0; r < count; r++ {
-		t1 := timeFit(1)
-		tN := timeFit(1 + sweeps)
+		t1, p1 := timeFit(1)
+		tN, pN := timeFit(1 + sweeps)
 		ps := (tN - t1) / float64(sweeps)
 		if ps <= 0 {
 			ps = t1 // degenerate tiny worlds; fall back to the full fit
 		}
 		inits = append(inits, t1)
 		perSweeps = append(perSweeps, ps)
+		for k, v := range pN {
+			d := (v - p1[k]) / float64(sweeps)
+			if d < 0 {
+				d = 0
+			}
+			phaseRuns[k] = append(phaseRuns[k], d)
+		}
 	}
-	return median(inits), median(perSweeps)
+	phases = make(map[string]float64, len(phaseRuns))
+	for k, vs := range phaseRuns {
+		phases[k] = median(vs)
+	}
+	return median(inits), median(perSweeps), phases
+}
+
+// logCell prints one measured cell, with the per-phase split appended in
+// a stable order.
+func logCell(r *Result) {
+	keys := make([]string, 0, len(r.PhaseSeconds))
+	for k := range r.PhaseSeconds {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	detail := ""
+	for _, k := range keys {
+		detail += fmt.Sprintf(" %s %.2fms", k, r.PhaseSeconds[k]*1e3)
+	}
+	if detail != "" {
+		detail = "  [" + detail[1:] + "]"
+	}
+	log.Printf("%-78s sweep %8.2fms  %10.0f rels/s%s", r.Name, r.SweepSeconds*1e3, r.RelsPerSec, detail)
 }
 
 // median returns the middle value (lower middle for even counts) without
@@ -325,12 +411,27 @@ func compareReports(path string, fresh *Report) {
 		note := ""
 		if ok {
 			delete(oldByName, r.Name)
-		} else if r.Draw == "fused" {
-			// A report from before the draw axis carries this cell under
-			// its shorter pre-axis name. That run's draw pipeline was the
-			// then-default; the fresh default is the fused cell, so the
-			// default-config trajectory continues there (labeled, since
-			// the two sides ran different draw code).
+		}
+		if !ok {
+			// A report from before the batch/layout axis carries this
+			// cell under its shorter pre-axis name (only default-corner
+			// cells embed batch=author/layout=flat, so ablation cells
+			// never false-match). That run had no batching or interleaved
+			// layout; the fresh default cell continues its trajectory.
+			legacy := strings.Replace(r.Name, "/batch=author/layout=flat", "", 1)
+			if legacy != r.Name {
+				if o, ok = oldByName[legacy]; ok {
+					delete(oldByName, legacy)
+					note = "  (vs pre-batch-axis default)"
+				}
+			}
+		}
+		if !ok && r.Draw == "fused" {
+			// Two axes back: a report from before the draw axis carries
+			// the cell under the still-shorter form. That run's draw
+			// pipeline was the then-default; the fresh default-config
+			// trajectory continues there (labeled, since the two sides
+			// ran different draw code).
 			legacy := fmt.Sprintf("kernel=%s/dist=%s/psi=%s/workers=%d", r.Kernel, r.Dist, r.Psi, r.Workers)
 			if o, ok = oldByName[legacy]; ok {
 				delete(oldByName, legacy)

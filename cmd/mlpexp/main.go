@@ -38,6 +38,9 @@ func main() {
 		dtable    = flag.Bool("disttable", true, "serve d^alpha from the quantized distance table (false = exact per-pair evaluation)")
 		pstore    = flag.Bool("psistore", true, "store collapsed venue counts venue-major (false = city-major maps, the reference layout)")
 		fdraw     = flag.Bool("fuseddraw", true, "draw with the fused prefix-sum pipeline (false = reference fill + Categorical path)")
+		tbatch    = flag.Bool("tweetbatch", true, "batch tweet draws per author with incremental repair (false = reference per-draw gather)")
+		layout    = flag.Bool("interleave", true, "interleave per-user sampler state into contiguous slabs (false = per-user allocations)")
+		sbins     = flag.Bool("sparsebins", true, "above the dense pair-matrix ceiling, serve d^alpha from sparse per-city bin rows (false = per-lookup quantization)")
 	)
 	flag.Parse()
 
@@ -55,6 +58,9 @@ func main() {
 		DistTable:      core.DistTableFor(*dtable),
 		PsiStore:       core.PsiStoreFor(*pstore),
 		FusedDraw:      core.FusedDrawFor(*fdraw),
+		TweetBatch:     core.TweetBatchFor(*tbatch),
+		Layout:         core.LayoutFor(*layout),
+		SparseBins:     core.SparseBinsFor(*sbins),
 	})
 	if err != nil {
 		log.Fatal(err)

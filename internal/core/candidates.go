@@ -154,7 +154,35 @@ func buildCandidates(c *dataset.Corpus, cfg Config, useF, useT bool) *candidateS
 		cs.gamma[u] = g
 		cs.gammaSum[u] = sum
 	}
+	if cfg.Layout != LayoutOff {
+		cs.interleave()
+	}
 	return cs
+}
+
+// interleave repacks the per-user candidate and prior rows into two
+// contiguous slabs in user order — the order the sweeps walk them — so
+// the fill kernels' gather and prefix-sum loops stream stride-1 memory
+// (the interleaved layout of DESIGN.md §14). Purely a relocation done
+// once at build time: values, lengths and draw order are untouched, so
+// every fingerprint is bit-identical across the knob. Full-capacity
+// re-slices keep any future append from clobbering a neighbor row. The
+// AllLocationCandidates path skips this (its rows already share one
+// allocation per kind).
+func (cs *candidateSet) interleave() {
+	total := 0
+	for _, c := range cs.cand {
+		total += len(c)
+	}
+	candSlab := make([]gazetteer.CityID, 0, total)
+	gammaSlab := make([]float64, 0, total)
+	for u := range cs.cand {
+		cb, gb := len(candSlab), len(gammaSlab)
+		candSlab = append(candSlab, cs.cand[u]...)
+		gammaSlab = append(gammaSlab, cs.gamma[u]...)
+		cs.cand[u] = candSlab[cb:len(candSlab):len(candSlab)]
+		cs.gamma[u] = gammaSlab[gb:len(gammaSlab):len(gammaSlab)]
+	}
 }
 
 // topLabeledHomes returns the k most frequent observed home locations.

@@ -137,6 +137,126 @@ func (f FusedDrawMode) String() string {
 	}
 }
 
+// TweetBatchMode selects whether the fused tweet kernel batches its
+// fills across consecutive tweets of one author (see DESIGN.md §14).
+type TweetBatchMode int
+
+const (
+	// TweetBatchAuto defers to the default, which is TweetBatchOn.
+	TweetBatchAuto TweetBatchMode = iota
+	// TweetBatchOn runs the per-author batched tweet kernel: consecutive
+	// tweets of one author share an identical candidate set, so the ψ̂
+	// gather is built once per (author, venue) and repaired incrementally
+	// when a drawn venue/city mutates a gathered count, the Eq. 6/9
+	// exclusion is applied per draw on top of the cached values, and the
+	// ν-step's θ̂ division is amortized through a per-author reciprocal.
+	// Every value fed to a draw is recomputed from the same operands the
+	// unbatched kernel reads, so fits are bit-identical on the golden
+	// matrix and identity-locked in general. Active only where the fused
+	// venue-major tweet kernel runs (FusedDrawOn + PsiStoreOn); inert —
+	// not approximated — elsewhere.
+	TweetBatchOn
+	// TweetBatchOff runs the unbatched per-tweet kernel: the reference
+	// the batched path is fingerprint-locked against.
+	TweetBatchOff
+)
+
+// TweetBatchFor maps a boolean toggle (as CLI flags expose it) onto the
+// mode knob.
+func TweetBatchFor(on bool) TweetBatchMode {
+	if on {
+		return TweetBatchOn
+	}
+	return TweetBatchOff
+}
+
+// String names the mode for logs and bench labels.
+func (b TweetBatchMode) String() string {
+	switch b {
+	case TweetBatchOff:
+		return "none"
+	default:
+		return "author"
+	}
+}
+
+// LayoutMode selects the memory layout of the per-user sampler state
+// (see DESIGN.md §14).
+type LayoutMode int
+
+const (
+	// LayoutAuto defers to the default, which is LayoutOn.
+	LayoutAuto LayoutMode = iota
+	// LayoutOn lays the per-user candidate, γ, ϕ and ϕ+γ-mirror rows out
+	// in contiguous per-array slabs (structure-of-arrays, one allocation
+	// per array), so the fill loops' prefix-sum chains and gathers walk
+	// stride-1 memory and corpus-order sweeps stay cache-resident across
+	// users. Values, lengths and iteration order are identical to the
+	// split layout — only addresses change — so fits are bit-identical
+	// across the knob.
+	LayoutOn
+	// LayoutOff keeps the original per-user split allocations.
+	LayoutOff
+)
+
+// LayoutFor maps a boolean toggle (as CLI flags expose it) onto the
+// mode knob.
+func LayoutFor(on bool) LayoutMode {
+	if on {
+		return LayoutOn
+	}
+	return LayoutOff
+}
+
+// String names the mode for logs and bench labels.
+func (l LayoutMode) String() string {
+	switch l {
+	case LayoutOff:
+		return "split"
+	default:
+		return "flat"
+	}
+}
+
+// SparseBinsMode selects how the distance table serves gazetteers beyond
+// MaxDensePairCities (see DESIGN.md §14).
+type SparseBinsMode int
+
+const (
+	// SparseBinsAuto defers to the default, which is SparseBinsOn.
+	SparseBinsAuto SparseBinsMode = iota
+	// SparseBinsOn serves d^α above the dense pair-matrix ceiling from
+	// per-city compact bin rows built lazily for the cities the live
+	// candidate sets actually pair (bounded, cached in the gazetteer-keyed
+	// level cache), so dist=table stays active at any gazetteer size. Row
+	// values are the same exp(α·quantized-log) the per-lookup fallback
+	// computes, so fits are bit-identical across the knob.
+	SparseBinsOn
+	// SparseBinsOff keeps the per-lookup quantization fallback above the
+	// ceiling: the reference the sparse rows are fingerprint-locked
+	// against.
+	SparseBinsOff
+)
+
+// SparseBinsFor maps a boolean toggle (as CLI flags expose it) onto the
+// mode knob.
+func SparseBinsFor(on bool) SparseBinsMode {
+	if on {
+		return SparseBinsOn
+	}
+	return SparseBinsOff
+}
+
+// String names the mode for logs and bench labels.
+func (s SparseBinsMode) String() string {
+	switch s {
+	case SparseBinsOff:
+		return "lookup"
+	default:
+		return "rows"
+	}
+}
+
 // Variant selects which observation types the model consumes.
 type Variant int
 
@@ -280,6 +400,30 @@ type Config struct {
 	// general (equivalence_test.go).
 	FusedDraw FusedDrawMode
 
+	// TweetBatch selects the per-author batched tweet kernel (default
+	// TweetBatchOn): ψ̂ gathers cached per (author, venue) across an
+	// author's consecutive tweets and repaired per draw, versus the
+	// unbatched per-tweet fill (TweetBatchOff). Batched fills feed draws
+	// the same values, so fits are bit-identical across the knob. Only
+	// engages where the fused venue-major kernel runs (FusedDrawOn +
+	// PsiStoreOn); inert elsewhere.
+	TweetBatch TweetBatchMode
+
+	// Layout selects the per-user state layout (default LayoutOn):
+	// contiguous structure-of-arrays slabs for candidates, γ, ϕ and the
+	// ϕ+γ mirror, versus per-user split allocations (LayoutOff).
+	// Addresses change, values don't; fits are bit-identical across the
+	// knob.
+	Layout LayoutMode
+
+	// SparseBins selects the distance table's behavior above
+	// MaxDensePairCities (default SparseBinsOn): lazily built per-city
+	// compact bin rows keep dist=table active at any gazetteer size,
+	// versus the per-lookup quantization fallback (SparseBinsOff). Both
+	// serve the same quantized values; fits are bit-identical across the
+	// knob. No effect at or below the ceiling.
+	SparseBins SparseBinsMode
+
 	// DisableNoiseMixture forces every relationship location-based
 	// (ρ_f = ρ_t = 0) — the ablation of the paper's first mixture level.
 	DisableNoiseMixture bool
@@ -344,6 +488,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FusedDraw == FusedDrawAuto {
 		c.FusedDraw = FusedDrawOn
+	}
+	if c.TweetBatch == TweetBatchAuto {
+		c.TweetBatch = TweetBatchOn
+	}
+	if c.Layout == LayoutAuto {
+		c.Layout = LayoutOn
+	}
+	if c.SparseBins == SparseBinsAuto {
+		c.SparseBins = SparseBinsOn
 	}
 	if c.DisableNoiseMixture {
 		c.RhoF, c.RhoT = 0, 0

@@ -23,9 +23,11 @@ import (
 //   level 2 — pairBin: the bin of a city pair never changes, so for
 //   gazetteers up to maxDensePairCities the full L×L compact-bin matrix
 //   is precomputed once per fit and the hot path reduces to two array
-//   loads. Larger gazetteers fall back to quantizing per lookup, which
-//   keeps the semantics (and the per-edge caches) without the dense
-//   matrix.
+//   loads. Larger gazetteers serve row-walking kernels from sparse
+//   per-city pow rows built lazily for the cities live candidate sets
+//   actually pair (Config.SparseBins, see below and DESIGN.md §14);
+//   with SparseBins off they fall back to quantizing per lookup, which
+//   keeps the semantics (and the per-edge caches) without any matrix.
 //
 // Everything the table serves is draw-for-draw aligned with the exact
 // path: the kernels consume the RNG in the same order with the same
@@ -61,9 +63,17 @@ const (
 
 	// maxDensePairCities caps the dense L×L pair-bin matrix: 2048 cities
 	// hold 2048²×4B = 16 MiB and cost ~2M haversines (a few hundred ms,
-	// paid once per fit) to fill. Beyond that, bins are quantized per
-	// lookup without memoization.
+	// paid once per fit) to fill. Beyond that, row-walking kernels are
+	// served from sparse per-city pow rows (SparseBinsOn, the default) or
+	// per-lookup quantization (SparseBinsOff).
 	maxDensePairCities = 2048
+
+	// sparsePowBudgetBytes bounds the sparse pow-row cache per distTable
+	// (and the quantized-log rows per gazetteer): 64 MiB holds rows for
+	// 2048 distinct cities at L=4096. Rows beyond the budget evict FIFO;
+	// an evicted row rebuilds on its next walk, so the budget trades
+	// rebuild work for memory, never correctness.
+	sparsePowBudgetBytes = 64 << 20
 )
 
 // MaxDensePairCities is the gazetteer-size ceiling of the dense pair-bin
@@ -73,33 +83,82 @@ const MaxDensePairCities = maxDensePairCities
 
 // DistTableStatus reports the distance-amortization state of a fitted
 // model: whether the quantized table is active at all, and whether it is
-// backed by the dense pair-bin matrix or fell back to per-lookup
-// quantization because the gazetteer exceeds MaxDensePairCities. Callers
-// scaling corpora up (the sharded path in particular) should surface the
-// fallback rather than let the slower path engage silently.
+// backed by the dense pair-bin matrix. Above MaxDensePairCities the
+// table stays active without the dense matrix — on sparse per-city pow
+// rows (the default; DistTableSparseBins reports true) or on per-lookup
+// quantization (SparseBinsOff). Callers scaling corpora up should
+// surface which of the two engaged rather than let the slower path run
+// silently.
 func (m *Model) DistTableStatus() (active, dense bool) {
 	if m.dt == nil {
 		return false, false
 	}
-	return true, m.dt.pb != nil
+	return true, m.dt.pb != nil && m.dt.pb.pairBin != nil
+}
+
+// DistTableSparseBins reports whether the table serves row-walking
+// kernels from the sparse per-city pow rows — the above-the-ceiling mode
+// of Config.SparseBins.
+func (m *Model) DistTableSparseBins() bool {
+	return m.dt != nil && m.dt.sparse
 }
 
 // pairBins is the immutable pair→bin level for one gazetteer: the dense
-// compact-bin matrix and the bin representatives. Distances never change,
-// so this level depends only on the gazetteer and the bin width — it is
-// shareable across every fit on the same gazetteer (CV folds, benches,
-// the equivalence suite), which is what the pairBinCache below exploits.
-// The α-dependent powTab stays per-distTable.
+// compact-bin matrix and the bin representatives, or — above the dense
+// ceiling — the lazily built per-city quantized-log rows the sparse pow
+// rows derive from. Distances never change, so this level depends only
+// on the gazetteer and the bin width — it is shareable across every fit
+// on the same gazetteer (CV folds, benches, the equivalence suite),
+// which is what the pairBinCache below exploits. The α-dependent powTab
+// and sparse pow rows stay per-distTable.
 type pairBins struct {
 	once sync.Once
 
 	// pairBin[a*L+b] is the compact bin id of city pair (a, b).
-	// Symmetric, diagonal in the logMiles=0 bin.
+	// Symmetric, diagonal in the logMiles=0 bin. Nil above the dense
+	// ceiling.
 	pairBin []uint32
 
 	// binRep[id] is the representative log-distance (bin center) of
 	// compact bin id.
 	binRep []float64
+
+	// Sparse level (L > maxDensePairCities only): qrows[a][l] is the
+	// quantized log-distance quantLog(logMiles(a, l)) — α-independent,
+	// so the rows survive Gibbs-EM α-epochs and are shared across fits
+	// on the gazetteer. Bounded FIFO under the shared byte budget;
+	// concurrent fits build under qmu.
+	qmu    sync.Mutex
+	qrows  map[int32][]float64
+	qorder []int32
+	qcap   int
+}
+
+// qrow returns city a's quantized-log row, building and caching it on
+// first use. Safe for concurrent use; the L-haversine build happens
+// under the lock, so concurrent walkers of one new city share a single
+// build.
+func (pb *pairBins) qrow(dc *distCalc, L int, a gazetteer.CityID) []float64 {
+	pb.qmu.Lock()
+	defer pb.qmu.Unlock()
+	if pb.qrows == nil {
+		pb.qrows = make(map[int32][]float64)
+		pb.qcap = max(16, sparsePowBudgetBytes/(L*8))
+	}
+	if r, ok := pb.qrows[int32(a)]; ok {
+		return r
+	}
+	r := make([]float64, L)
+	for b := 0; b < L; b++ {
+		r[b] = quantLog(dc.logMiles(a, gazetteer.CityID(b)))
+	}
+	pb.qrows[int32(a)] = r
+	pb.qorder = append(pb.qorder, int32(a))
+	if len(pb.qorder) > pb.qcap {
+		delete(pb.qrows, pb.qorder[0])
+		pb.qorder = pb.qorder[1:]
+	}
+	return r
 }
 
 // build quantizes every pair and compacts the distinct raw bins into
@@ -148,7 +207,9 @@ const maxPairBinCacheEntries = 4
 
 // pairBinsFor returns the (possibly cached) pair-bin level for g. The
 // per-entry sync.Once lets concurrent fits on the same gazetteer share
-// one build without holding the cache lock during the L² loop.
+// one build without holding the cache lock during the L² loop. Above
+// the dense ceiling the matrix build is skipped: the entry then only
+// carries the lazily built qrow level the sparse pow rows derive from.
 func pairBinsFor(dc *distCalc, g *gazetteer.Gazetteer, L int) *pairBins {
 	pairBinCache.mu.Lock()
 	pb, ok := pairBinCache.entries[g]
@@ -162,7 +223,9 @@ func pairBinsFor(dc *distCalc, g *gazetteer.Gazetteer, L int) *pairBins {
 		}
 	}
 	pairBinCache.mu.Unlock()
-	pb.once.Do(func() { pb.build(dc, L) })
+	if L <= maxDensePairCities {
+		pb.once.Do(func() { pb.build(dc, L) })
+	}
 	return pb
 }
 
@@ -175,16 +238,80 @@ type distTable struct {
 	L     int
 	alpha float64
 
-	// pb is the shared immutable pair→bin level; nil above
-	// maxDensePairCities (the per-lookup quantization fallback).
+	// pb is the shared pair→bin level. Its dense matrix (pb.pairBin) is
+	// nil above maxDensePairCities; the α-independent qrow level backs
+	// the sparse pow rows there.
 	pb *pairBins
 
 	// powTab[id] = exp(alpha·pb.binRep[id]) for the current α-epoch.
+	// Nil without the dense matrix.
 	powTab []float64
 
-	// epoch counts α updates; per-edge caches compare against it to
-	// invalidate their static sums.
+	// epoch counts α updates; per-edge caches (and sparse pow rows)
+	// compare against it to invalidate their static values.
 	epoch uint32
+
+	// Sparse mode (L > maxDensePairCities, Config.SparseBins on):
+	// spRows[a].pow[b] = exp(alpha·quantLog(logMiles(a, b))) for the
+	// row's stamped α-epoch — bit-identical to both the dense powTab
+	// load and the per-lookup fallback, so every representation yields
+	// the same draws. Bounded FIFO; rows from a stale α-epoch rebuild
+	// in place on their next walk. Guarded by spMu for the concurrent
+	// sweep workers (setAlpha itself only runs between sweeps).
+	sparse  bool
+	spMu    sync.RWMutex
+	spRows  map[int32]*sparsePowRow
+	spOrder []int32
+	spCap   int
+}
+
+// sparsePowRow is one lazily built pow row of the sparse level, stamped
+// with the α-epoch it was exponentiated under.
+type sparsePowRow struct {
+	epoch uint32
+	pow   []float64
+}
+
+// powRow returns city a's full pow row in sparse mode, building it (or
+// refreshing it after an α-epoch move) lazily from the shared quantized
+// -log level; nil when the table is not sparse. The read path is an
+// RLock; builds double-check under the write lock so concurrent walkers
+// of one new city share a single L-exp pass.
+func (t *distTable) powRow(a gazetteer.CityID) []float64 {
+	if !t.sparse {
+		return nil
+	}
+	t.spMu.RLock()
+	if r, ok := t.spRows[int32(a)]; ok && r.epoch == t.epoch {
+		// Read the row fields under the lock: a concurrent stale-row
+		// refresh reassigns them in place. The returned slice itself is
+		// immutable once published (refreshes install a fresh slice).
+		pow := r.pow
+		t.spMu.RUnlock()
+		return pow
+	}
+	t.spMu.RUnlock()
+	q := t.pb.qrow(t.dc, t.L, a)
+	t.spMu.Lock()
+	defer t.spMu.Unlock()
+	if r, ok := t.spRows[int32(a)]; ok && r.epoch == t.epoch {
+		return r.pow
+	}
+	pow := make([]float64, t.L)
+	for b, lm := range q {
+		pow[b] = math.Exp(t.alpha * lm)
+	}
+	if r, ok := t.spRows[int32(a)]; ok {
+		r.epoch, r.pow = t.epoch, pow
+	} else {
+		t.spRows[int32(a)] = &sparsePowRow{epoch: t.epoch, pow: pow}
+		t.spOrder = append(t.spOrder, int32(a))
+		if len(t.spOrder) > t.spCap {
+			delete(t.spRows, t.spOrder[0])
+			t.spOrder = t.spOrder[1:]
+		}
+	}
+	return pow
 }
 
 // newDistTable builds the pair-bin level for the gazetteer behind dc,
@@ -201,11 +328,16 @@ func newDistTable(dc *distCalc, L int) *distTable {
 
 // distTableFor is the fit-time constructor: identical semantics to
 // newDistTable, with the pair-bin level served from pairBinCache.
-func distTableFor(dc *distCalc, g *gazetteer.Gazetteer) *distTable {
+// sparse selects the above-the-ceiling mode: per-city pow rows (true)
+// or per-lookup quantization (false); it is a no-op at or below the
+// dense ceiling, where the matrix always wins.
+func distTableFor(dc *distCalc, g *gazetteer.Gazetteer, sparse bool) *distTable {
 	L := g.Len()
-	t := &distTable{dc: dc, L: L}
-	if L <= maxDensePairCities {
-		t.pb = pairBinsFor(dc, g, L)
+	t := &distTable{dc: dc, L: L, pb: pairBinsFor(dc, g, L)}
+	if L > maxDensePairCities && sparse {
+		t.sparse = true
+		t.spRows = make(map[int32]*sparsePowRow)
+		t.spCap = max(16, sparsePowBudgetBytes/(L*8))
 	}
 	return t
 }
@@ -229,7 +361,7 @@ func quantLog(lm float64) float64 {
 // cache lazily. Must not run concurrently with a sweep.
 func (t *distTable) setAlpha(alpha float64) {
 	t.alpha = alpha
-	if t.pb != nil {
+	if t.pb != nil && t.pb.pairBin != nil {
 		if t.powTab == nil {
 			t.powTab = make([]float64, len(t.pb.binRep))
 		}
@@ -241,20 +373,23 @@ func (t *distTable) setAlpha(alpha float64) {
 }
 
 // pow returns the memoized d(a,b)^α for the current α-epoch: two array
-// loads in dense mode, a quantized exact evaluation in fallback mode.
+// loads in dense mode, a quantized exact evaluation above the ceiling.
+// Single lookups stay on the quantized evaluation even in sparse mode —
+// materializing an L-wide pow row for one probe would cost more than it
+// saves; row-walking kernels go through powRow instead.
 func (t *distTable) pow(a, b gazetteer.CityID) float64 {
-	if t.pb != nil {
+	if t.pb != nil && t.pb.pairBin != nil {
 		return t.powTab[t.pb.pairBin[int(a)*t.L+int(b)]]
 	}
 	return math.Exp(t.alpha * quantLog(t.dc.logMiles(a, b)))
 }
 
-// row returns city a's dense compact-bin row, or nil in fallback mode.
-// Kernels hold the fixed endpoint's row so the per-candidate lookup is a
-// single in-row load (the matrix is symmetric, so row-major access works
-// for either side of the pair).
+// row returns city a's dense compact-bin row, or nil without the dense
+// matrix. Kernels hold the fixed endpoint's row so the per-candidate
+// lookup is a single in-row load (the matrix is symmetric, so row-major
+// access works for either side of the pair).
 func (t *distTable) row(a gazetteer.CityID) []uint32 {
-	if t.pb == nil {
+	if t.pb == nil || t.pb.pairBin == nil {
 		return nil
 	}
 	return t.pb.pairBin[int(a)*t.L : int(a)*t.L+t.L]
@@ -313,6 +448,10 @@ func (m *Model) edgeCacheFor(s int, candI, candJ []gazetteer.CityID, gammaJ []fl
 			for j, cj := range candJ {
 				sum += gammaJ[j] * pt[row[cj]]
 			}
+		} else if prow := m.dt.powRow(ci); prow != nil {
+			for j, cj := range candJ {
+				sum += gammaJ[j] * prow[cj]
+			}
 		} else {
 			for j, cj := range candJ {
 				sum += gammaJ[j] * m.dt.pow(ci, cj)
@@ -344,10 +483,13 @@ func (m *Model) drawStaticPair(ctx *sweepCtx, s int) (i, j int, ok bool) {
 		w := make([]float64, len(candI)*nJ)
 		for i, ci := range candI {
 			row := m.dt.row(ci)
+			prow := m.dt.powRow(ci)
 			for j, cj := range candJ {
 				var p float64
 				if row != nil {
 					p = m.dt.powTab[row[cj]]
+				} else if prow != nil {
+					p = prow[cj]
 				} else {
 					p = m.dt.pow(ci, cj)
 				}

@@ -32,6 +32,17 @@ type Model struct {
 	// reference fill + randutil.Categorical path.
 	fused bool
 
+	// batched selects the per-author tweet-draw batching layer on top of
+	// the fused venue-major pipeline (Config.TweetBatch, DESIGN.md §14).
+	// Requires fused and the venue-major store; the reference scan/map
+	// paths stay untouched. Set once after initState.
+	batched bool
+
+	// phaseSec accumulates wall-clock seconds per sweep phase (edge /
+	// tweet / fold / …), written only by the sweep coordinator between
+	// barriers (see phase.go). Nil until the first sweep.
+	phaseSec map[string]float64
+
 	// Candidacy and priors.
 	cands *candidateSet
 
@@ -150,7 +161,7 @@ func Fit(c *dataset.Corpus, cfg Config) (*Model, error) {
 	// The distance table is built after the initial (α, β) fit so its
 	// first α-epoch memoizes the exponent the sweeps will actually use.
 	if m.useF && cfg.DistTable != DistTableOff {
-		m.dt = distTableFor(m.dc, c.Gaz)
+		m.dt = distTableFor(m.dc, c.Gaz, cfg.SparseBins != SparseBinsOff)
 		m.dt.setAlpha(m.alpha)
 		if cfg.BlockedSampler {
 			m.etab = make([]edgeCache, len(c.Edges))
@@ -159,6 +170,7 @@ func Fit(c *dataset.Corpus, cfg Config) (*Model, error) {
 
 	m.cands = buildCandidates(c, cfg, m.useF, m.useT)
 	m.initState()
+	m.batched = cfg.TweetBatch != TweetBatchOff && m.fused && m.ps != nil
 
 	for iter := 1; iter <= cfg.Iterations; iter++ {
 		m.curIter = iter
@@ -182,8 +194,28 @@ func (m *Model) initState() {
 
 	m.phi = make([][]float64, n)
 	m.phiSum = make([]float64, n)
-	for u := 0; u < n; u++ {
-		m.phi[u] = make([]float64, len(m.cands.cand[u]))
+	if m.cfg.Layout != LayoutOff {
+		// Interleaved layout (DESIGN.md §14): all users' ϕ rows live in
+		// one contiguous slab, in user order — the order the sweeps walk
+		// them — so the fill kernels stream stride-1 instead of chasing
+		// per-user allocations. Full-capacity re-slices keep a row's
+		// append (never done) from clobbering its neighbor. Values are
+		// untouched by the layout, so every draw is bit-identical.
+		total := 0
+		for u := 0; u < n; u++ {
+			total += len(m.cands.cand[u])
+		}
+		slab := make([]float64, total)
+		off := 0
+		for u := 0; u < n; u++ {
+			nc := len(m.cands.cand[u])
+			m.phi[u] = slab[off : off+nc : off+nc]
+			off += nc
+		}
+	} else {
+		for u := 0; u < n; u++ {
+			m.phi[u] = make([]float64, len(m.cands.cand[u]))
+		}
 	}
 
 	m.numVenues = c.Venues.Len()
@@ -244,9 +276,24 @@ func (m *Model) initState() {
 	// the kernels shift it alongside every later ϕ mutation.
 	if m.fused {
 		m.pg = make([][]float64, n)
+		var slab []float64
+		if m.cfg.Layout != LayoutOff {
+			total := 0
+			for u := 0; u < n; u++ {
+				total += len(m.phi[u])
+			}
+			slab = make([]float64, total)
+		}
+		off := 0
 		for u := 0; u < n; u++ {
 			phi, gamma := m.phi[u], m.cands.gamma[u]
-			row := make([]float64, len(phi))
+			var row []float64
+			if slab != nil {
+				row = slab[off : off+len(phi) : off+len(phi)]
+				off += len(phi)
+			} else {
+				row = make([]float64, len(phi))
+			}
 			for c := range row {
 				row[c] = phi[c] + gamma[c]
 			}

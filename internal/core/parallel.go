@@ -55,6 +55,10 @@ type sweepCtx struct {
 	// stale collects the deferred remote-side ϕ ops of the sharded
 	// stale-boundary protocol (see shard.go); empty outside it.
 	stale []staleOp
+
+	// batch is the per-author tweet-draw batching state (tweetbatch.go),
+	// used only when Model.batched.
+	batch tweetBatch
 }
 
 // venueKey packs a (city, venue) pair into one map key. Only the
@@ -266,68 +270,72 @@ func (m *Model) sweepParallel() {
 	}
 
 	if m.useF {
-		update := m.updateEdge
-		if m.cfg.BlockedSampler {
-			update = m.updateEdgeBlocked
-		}
-		var wg sync.WaitGroup
-		for _, class := range m.plan.edgeClasses {
-			// Tiny classes are not worth a fan-out barrier; worker 0's
-			// stream absorbs them.
-			if len(class) < 2*W {
-				for _, s := range class {
-					update(m.parCtxs[0], int(s))
-				}
-				continue
+		m.phase("edge", func() {
+			update := m.updateEdge
+			if m.cfg.BlockedSampler {
+				update = m.updateEdgeBlocked
 			}
-			per := (len(class) + W - 1) / W
-			for w := 0; w < W; w++ {
-				lo := w * per
-				hi := min(lo+per, len(class))
-				if lo >= hi {
-					break
-				}
-				wg.Add(1)
-				go func(ctx *sweepCtx, part []int32) {
-					defer wg.Done()
-					for _, s := range part {
-						update(ctx, int(s))
+			var wg sync.WaitGroup
+			for _, class := range m.plan.edgeClasses {
+				// Tiny classes are not worth a fan-out barrier; worker 0's
+				// stream absorbs them.
+				if len(class) < 2*W {
+					for _, s := range class {
+						update(m.parCtxs[0], int(s))
 					}
-				}(m.parCtxs[w], class[lo:hi])
+					continue
+				}
+				per := (len(class) + W - 1) / W
+				for w := 0; w < W; w++ {
+					lo := w * per
+					hi := min(lo+per, len(class))
+					if lo >= hi {
+						break
+					}
+					wg.Add(1)
+					go func(ctx *sweepCtx, part []int32) {
+						defer wg.Done()
+						for _, s := range part {
+							update(ctx, int(s))
+						}
+					}(m.parCtxs[w], class[lo:hi])
+				}
+				wg.Wait()
 			}
-			wg.Wait()
-		}
+		})
 	}
 
 	// Note the length guard: a tweetless corpus (legal for Full as long
 	// as it has edges) gets no tweet shards from buildSweepPlan.
 	if m.useT && len(m.plan.tweetShards) > 0 {
-		var wg sync.WaitGroup
-		for w := 0; w < W; w++ {
-			shard := m.plan.tweetShards[w]
-			if len(shard) == 0 {
-				continue
-			}
-			ctx := m.parCtxs[w]
-			if m.ps != nil {
-				if ctx.ovl == nil {
-					ctx.ovl = newPsiStore(m.numVenues)
-					ctx.ovlSum = make([]float64, len(m.venueSum))
+		m.phase("tweet", func() {
+			var wg sync.WaitGroup
+			for w := 0; w < W; w++ {
+				shard := m.plan.tweetShards[w]
+				if len(shard) == 0 {
+					continue
 				}
-			} else if ctx.vdelta == nil {
-				ctx.vdelta = make(map[uint64]float64, 256)
-				ctx.vsum = make(map[gazetteer.CityID]float64, 64)
-			}
-			wg.Add(1)
-			go func(ctx *sweepCtx, shard []int32) {
-				defer wg.Done()
-				for _, k := range shard {
-					m.updateTweet(ctx, int(k))
+				ctx := m.parCtxs[w]
+				if m.ps != nil {
+					if ctx.ovl == nil {
+						ctx.ovl = newPsiStore(m.numVenues)
+						ctx.ovlSum = make([]float64, len(m.venueSum))
+					}
+				} else if ctx.vdelta == nil {
+					ctx.vdelta = make(map[uint64]float64, 256)
+					ctx.vsum = make(map[gazetteer.CityID]float64, 64)
 				}
-			}(ctx, shard)
-		}
-		wg.Wait()
-		m.foldVenueDeltas()
+				wg.Add(1)
+				go func(ctx *sweepCtx, shard []int32) {
+					defer wg.Done()
+					for _, k := range shard {
+						m.updateTweet(ctx, int(k))
+					}
+				}(ctx, shard)
+			}
+			wg.Wait()
+		})
+		m.phase("fold", m.foldVenueDeltas)
 	}
 }
 

@@ -27,20 +27,24 @@ func (m *Model) sweep() {
 		return
 	}
 	if m.useF {
-		if m.cfg.BlockedSampler {
-			for s := range m.corpus.Edges {
-				m.updateEdgeBlocked(m.seq, s)
+		m.phase("edge", func() {
+			if m.cfg.BlockedSampler {
+				for s := range m.corpus.Edges {
+					m.updateEdgeBlocked(m.seq, s)
+				}
+			} else {
+				for s := range m.corpus.Edges {
+					m.updateEdge(m.seq, s)
+				}
 			}
-		} else {
-			for s := range m.corpus.Edges {
-				m.updateEdge(m.seq, s)
-			}
-		}
+		})
 	}
 	if m.useT {
-		for k := range m.corpus.Tweets {
-			m.updateTweet(m.seq, k)
-		}
+		m.phase("tweet", func() {
+			for k := range m.corpus.Tweets {
+				m.updateTweet(m.seq, k)
+			}
+		})
 	}
 }
 
@@ -196,6 +200,12 @@ func (m *Model) edgeWeights(weights []float64, cand []gazetteer.CityID, phi, gam
 			for c, l := range cand {
 				weights[c] = (phi[c] + gamma[c]) * pt[row[l]]
 			}
+		} else if prow := dt.powRow(opp); prow != nil {
+			// Sparse pow row of the fixed opposite endpoint: logMiles is
+			// symmetric, so prow[l] is the same value pow(l, opp) yields.
+			for c, l := range cand {
+				weights[c] = (phi[c] + gamma[c]) * prow[l]
+			}
 		} else {
 			for c, l := range cand {
 				weights[c] = (phi[c] + gamma[c]) * dt.pow(l, opp)
@@ -232,6 +242,11 @@ func (m *Model) edgeCum(cum []float64, cand []gazetteer.CityID, pg []float64, op
 			pt := dt.powTab
 			for c, l := range cand {
 				total += pg[c] * pt[row[l]]
+				cum[c] = total
+			}
+		} else if prow := dt.powRow(opp); prow != nil {
+			for c, l := range cand {
+				total += pg[c] * prow[l]
 				cum[c] = total
 			}
 		} else {
@@ -443,6 +458,10 @@ func (m *Model) updateEdgeBlockedTable(ctx *sweepCtx, s int) {
 				for _, j := range sup {
 					si += phiJ[j] * pt[row[candJ[j]]]
 				}
+			} else if prow := m.dt.powRow(candI[i]); prow != nil {
+				for _, j := range sup {
+					si += phiJ[j] * prow[candJ[j]]
+				}
 			} else {
 				for _, j := range sup {
 					si += phiJ[j] * m.dt.pow(candI[i], candJ[j])
@@ -459,6 +478,10 @@ func (m *Model) updateEdgeBlockedTable(ctx *sweepCtx, s int) {
 			if row := m.dt.row(candI[i]); row != nil {
 				for _, j := range sup {
 					si += phiJ[j] * pt[row[candJ[j]]]
+				}
+			} else if prow := m.dt.powRow(candI[i]); prow != nil {
+				for _, j := range sup {
+					si += phiJ[j] * prow[candJ[j]]
 				}
 			} else {
 				for _, j := range sup {
@@ -521,6 +544,7 @@ func (m *Model) updateEdgeBlockedTable(ctx *sweepCtx, s int) {
 		yi := nJ - 1
 		wxi := wx[xi]
 		row := m.dt.row(candI[xi])
+		prow := m.dt.powRow(candI[xi])
 		// The within-row column pass is already fused in both modes: one
 		// loop computing each product, accumulating, and early-exiting
 		// at the inversion point.
@@ -529,6 +553,8 @@ func (m *Model) updateEdgeBlockedTable(ctx *sweepCtx, s int) {
 			var d float64
 			if row != nil {
 				d = pt[row[candJ[j]]]
+			} else if prow != nil {
+				d = prow[candJ[j]]
 			} else {
 				d = m.dt.pow(candI[xi], candJ[j])
 			}
@@ -556,6 +582,10 @@ func (m *Model) updateEdgeBlockedTable(ctx *sweepCtx, s int) {
 // layout; with the venue-major store on, updateTweetStore takes over
 // (same conditionals, same draws, fingerprint-locked to this path).
 func (m *Model) updateTweet(ctx *sweepCtx, k int) {
+	if m.batched {
+		m.updateTweetStoreBatched(ctx, k)
+		return
+	}
 	if m.ps != nil {
 		m.updateTweetStore(ctx, k)
 		return

@@ -126,93 +126,101 @@ func (m *Model) sweepSharded() {
 		m.snapshotStalePhi()
 	}
 
-	var wg sync.WaitGroup
-	for s := 0; s < S; s++ {
-		ctx := m.shCtxs[s]
-		var edges, tweets []int32
-		if m.useF {
-			if stale {
-				edges = m.splan.owned[s]
-			} else if m.splan.intra != nil {
-				edges = m.splan.intra[s]
-			}
-		}
-		if m.useT && m.splan.tweets != nil {
-			tweets = m.splan.tweets[s]
-		}
-		if len(edges) == 0 && len(tweets) == 0 {
-			continue
-		}
-		if len(tweets) > 0 {
-			if m.ps != nil {
-				if ctx.ovl == nil {
-					ctx.ovl = newPsiStore(m.numVenues)
-					ctx.ovlSum = make([]float64, len(m.venueSum))
+	m.phase("shard", func() {
+		var wg sync.WaitGroup
+		for s := 0; s < S; s++ {
+			ctx := m.shCtxs[s]
+			var edges, tweets []int32
+			if m.useF {
+				if stale {
+					edges = m.splan.owned[s]
+				} else if m.splan.intra != nil {
+					edges = m.splan.intra[s]
 				}
-			} else if ctx.vdelta == nil {
-				ctx.vdelta = make(map[uint64]float64, 256)
-				ctx.vsum = make(map[gazetteer.CityID]float64, 64)
 			}
-		}
-		wg.Add(1)
-		go func(ctx *sweepCtx, edges, tweets []int32) {
-			defer wg.Done()
-			if stale {
-				shardOf := m.splan.shardOf
-				for _, s := range edges {
-					e := m.corpus.Edges[s]
-					if shardOf[e.To] != shardOf[e.From] {
-						m.updateEdgeStale(ctx, int(s))
-					} else {
-						m.updateEdge(ctx, int(s))
+			if m.useT && m.splan.tweets != nil {
+				tweets = m.splan.tweets[s]
+			}
+			if len(edges) == 0 && len(tweets) == 0 {
+				continue
+			}
+			if len(tweets) > 0 {
+				if m.ps != nil {
+					if ctx.ovl == nil {
+						ctx.ovl = newPsiStore(m.numVenues)
+						ctx.ovlSum = make([]float64, len(m.venueSum))
+					}
+				} else if ctx.vdelta == nil {
+					ctx.vdelta = make(map[uint64]float64, 256)
+					ctx.vsum = make(map[gazetteer.CityID]float64, 64)
+				}
+			}
+			wg.Add(1)
+			go func(ctx *sweepCtx, edges, tweets []int32) {
+				defer wg.Done()
+				if stale {
+					shardOf := m.splan.shardOf
+					for _, s := range edges {
+						e := m.corpus.Edges[s]
+						if shardOf[e.To] != shardOf[e.From] {
+							m.updateEdgeStale(ctx, int(s))
+						} else {
+							m.updateEdge(ctx, int(s))
+						}
+					}
+				} else {
+					for _, s := range edges {
+						update(ctx, int(s))
 					}
 				}
-			} else {
-				for _, s := range edges {
-					update(ctx, int(s))
+				for _, k := range tweets {
+					m.updateTweet(ctx, int(k))
 				}
+			}(ctx, edges, tweets)
+		}
+		wg.Wait()
+	})
+	if m.useT || stale {
+		m.phase("fold", func() {
+			if m.useT {
+				m.foldVenueDeltasFrom(m.shCtxs)
 			}
-			for _, k := range tweets {
-				m.updateTweet(ctx, int(k))
+			if stale {
+				m.applyStaleOps()
 			}
-		}(ctx, edges, tweets)
-	}
-	wg.Wait()
-	if m.useT {
-		m.foldVenueDeltasFrom(m.shCtxs)
-	}
-	if stale {
-		m.applyStaleOps()
+		})
 	}
 
 	if m.useF && !stale && len(m.splan.bclasses) > 0 {
-		var bwg sync.WaitGroup
-		for _, class := range m.splan.bclasses {
-			// Tiny classes are not worth a fan-out barrier; shard 0's
-			// stream absorbs them (mirroring sweepParallel).
-			if len(class) < 2*S {
-				for _, s := range class {
-					update(m.shCtxs[0], int(s))
-				}
-				continue
-			}
-			per := (len(class) + S - 1) / S
-			for w := 0; w < S; w++ {
-				lo := w * per
-				hi := min(lo+per, len(class))
-				if lo >= hi {
-					break
-				}
-				bwg.Add(1)
-				go func(ctx *sweepCtx, part []int32) {
-					defer bwg.Done()
-					for _, s := range part {
-						update(ctx, int(s))
+		m.phase("boundary", func() {
+			var bwg sync.WaitGroup
+			for _, class := range m.splan.bclasses {
+				// Tiny classes are not worth a fan-out barrier; shard 0's
+				// stream absorbs them (mirroring sweepParallel).
+				if len(class) < 2*S {
+					for _, s := range class {
+						update(m.shCtxs[0], int(s))
 					}
-				}(m.shCtxs[w], class[lo:hi])
+					continue
+				}
+				per := (len(class) + S - 1) / S
+				for w := 0; w < S; w++ {
+					lo := w * per
+					hi := min(lo+per, len(class))
+					if lo >= hi {
+						break
+					}
+					bwg.Add(1)
+					go func(ctx *sweepCtx, part []int32) {
+						defer bwg.Done()
+						for _, s := range part {
+							update(ctx, int(s))
+						}
+					}(m.shCtxs[w], class[lo:hi])
+				}
+				bwg.Wait()
 			}
-			bwg.Wait()
-		}
+		})
 	}
 }
 
@@ -376,6 +384,10 @@ func (m *Model) drawEdgeSideStale(ctx *sweepCtx, cand []gazetteer.CityID, gamma,
 				pt := dt.powTab
 				for c, l := range cand {
 					w[c] *= pt[row[l]]
+				}
+			} else if prow := dt.powRow(opp); prow != nil {
+				for c, l := range cand {
+					w[c] *= prow[l]
 				}
 			} else {
 				for c, l := range cand {

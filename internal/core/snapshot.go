@@ -320,7 +320,7 @@ func newSnapshotModel(c *dataset.Corpus, cfg Config, alpha, beta float64, iters 
 	// The distance table serves MAPExplainEdge's d^α exactly as the
 	// fitted model's last α-epoch did: same table, same final exponent.
 	if m.useF && cfg.DistTable != DistTableOff {
-		m.dt = distTableFor(m.dc, c.Gaz)
+		m.dt = distTableFor(m.dc, c.Gaz, cfg.SparseBins != SparseBinsOff)
 		m.dt.setAlpha(m.alpha)
 	}
 

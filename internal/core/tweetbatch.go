@@ -1,0 +1,376 @@
+package core
+
+import (
+	"mlprofile/internal/gazetteer"
+	"mlprofile/internal/randutil"
+)
+
+// This file implements the per-author tweet-draw batching layer behind
+// Config.TweetBatch (see DESIGN.md §14). Consecutive tweets of one
+// author share the same candidate set, and between two of the author's
+// own draws nothing this stream can see mutates the venue counts — the
+// sequential chain interleaves no other author inside the run, and a
+// parallel/sharded worker reads frozen base counts plus its own private
+// overlay. The batched kernel therefore gathers each venue's
+// per-candidate counts once per (author, venue) into a small per-stream
+// cache and reuses them across the author's tweet run. Deliberately,
+// only the *counts* are cached, never the smoothed ψ̂ values derived
+// from them: ψ̂'s denominator (the per-city venue sum) moves whenever
+// any of the author's draws shifts any venue at that city, so a cached
+// ψ̂ would need an all-entries repair per accepted move — measured as a
+// net pessimization. Counts are venue-local, so a move repairs exactly
+// one entry at one index, and the fill recomputes ψ̂ from the cached
+// count and the always-current maintained reciprocal — the same fused
+// multiply the unbatched kernel runs, minus its per-draw gather. Every
+// value fed to a draw is computed from the same operands with the same
+// operations as updateTweetStore, so the batched chain is bit-identical
+// to the unbatched one (the golden matrix's batch axis locks this);
+// only the probe/gather work is amortized.
+
+// tweetBatchEntries is the per-stream cache size. It should cover a
+// typical author's distinct-venue working set within one run (the bench
+// world sits near 20–30 venues per active user); eviction is
+// round-robin and an evicted entry rebuilds from the live counts, so
+// the size trades gather work for scratch memory (≤ nCand×8B per
+// entry), never correctness. Must stay ≤ 256: slots are addressed by
+// uint8 in the per-venue index.
+const tweetBatchEntries = 64
+
+// batchEntry caches one venue's per-candidate counts for the current
+// author — the base store row plus, on a worker, its own overlay
+// deltas — maintained current by tweetBatch.shift as the author's draws
+// move counts.
+type batchEntry struct {
+	venue gazetteer.VenueID
+	cnt   []float64
+}
+
+// tweetBatch is one sampler stream's batching state, embedded in its
+// sweepCtx. A batch is valid for exactly one (sweep, author) run: iter
+// catches the phase boundary (barrier folds and other streams mutate
+// base counts between sweeps), user the author switch (other authors'
+// sequential draws mutate counts between runs).
+//
+// Entry lookup is O(1) via an epoch-stamped per-venue index (vstamp /
+// vslot, lazily sized to the venue inventory): a venue's slot is valid
+// only when its stamp equals the current epoch, and resetFor
+// invalidates the whole index by bumping the epoch — no per-run
+// clearing. The earlier linear slot scan was measured to burn the
+// batching win on scan compares (two lookups per draw: fill and
+// ν-step).
+type tweetBatch struct {
+	iter int
+	user int32
+
+	entries [tweetBatchEntries]batchEntry
+	n       int // live entries this epoch
+	evict   int // next round-robin eviction slot
+
+	epoch  uint32   // current (sweep, author) run generation, ≥1 once used
+	vstamp []uint32 // per-venue: epoch the venue's slot belongs to
+	vslot  []uint8  // per-venue: slot index, valid iff vstamp matches
+
+	// Amortized θ̂ denominator: the ν-step divides by ϕ_u+Σγ_u once per
+	// draw, but the value only moves when a µ/ν flip shifts ϕ_u inside
+	// the run. Caching the reciprocal keyed on the denominator value
+	// folds those divisions into one per change. num·(1/den) can differ
+	// from num/den by one ulp; on the golden world no draw flips (the
+	// batch axis of the fingerprint matrix locks this) and the general
+	// case sits far inside the equivalence tolerance.
+	thetaDen  float64
+	thetaRDen float64
+
+	built   int64 // entries gathered
+	hits    int64 // entries reused
+	repairs int64 // in-place count/ψ̂ repairs after own draws
+}
+
+// resetFor invalidates every entry and rebinds the batch to one
+// (sweep, author) run. Invalidation is one epoch bump — the per-venue
+// stamps all stop matching; entry slots (and their cnt capacity) are
+// recycled in place by the next gathers.
+func (b *tweetBatch) resetFor(user int32, iter int) {
+	b.epoch++
+	if b.epoch == 0 { // uint32 wrap: stale stamps could collide; wipe them
+		clear(b.vstamp)
+		b.epoch = 1
+	}
+	b.n = 0
+	b.evict = 0
+	b.user = user
+	b.iter = iter
+	b.thetaDen = 0
+	b.thetaRDen = 0
+}
+
+// entryFor returns the current author's cached entry for venue v,
+// gathering counts into a (possibly recycled) slot on miss. The gather
+// resolves the exact counts the unbatched kernel would probe — via the
+// store row walk or direct probes, whichever is cheaper
+// (psiGatherWorthwhile), overlay deltas included on a worker — so
+// reading the entry is bit-identical to re-probing.
+func (b *tweetBatch) entryFor(ctx *sweepCtx, v gazetteer.VenueID, cand []gazetteer.CityID) *batchEntry {
+	m := ctx.m
+	if int(v) >= len(b.vstamp) {
+		// Lazy index sizing (and resize after a corpus swap): stamps
+		// zero, which never matches an epoch ≥ 1.
+		grown := make([]uint32, len(m.ps.rows))
+		copy(grown, b.vstamp)
+		b.vstamp = grown
+		slots := make([]uint8, len(m.ps.rows))
+		copy(slots, b.vslot)
+		b.vslot = slots
+	}
+	if b.vstamp[v] == b.epoch {
+		b.hits++
+		return &b.entries[b.vslot[v]]
+	}
+	var slot int
+	if b.n < tweetBatchEntries {
+		slot = b.n
+		b.n++
+	} else {
+		slot = b.evict
+		b.evict = (b.evict + 1) % tweetBatchEntries
+		// Unmap the evicted slot's venue so its next lookup rebuilds.
+		if old := b.entries[slot].venue; b.vstamp[old] == b.epoch {
+			b.vstamp[old] = 0
+		}
+	}
+	e := &b.entries[slot]
+	b.vstamp[v] = b.epoch
+	b.vslot[v] = uint8(slot)
+	e.venue = v
+	if cap(e.cnt) < len(cand) {
+		e.cnt = make([]float64, len(cand))
+	}
+	e.cnt = e.cnt[:len(cand)]
+
+	if ctx.psiGatherWorthwhile(v, len(cand)) {
+		ctx.gatherPsi(v)
+		gcells, ep := ctx.gcells, ctx.gepoch
+		for c, l := range cand {
+			var cnt float64
+			if cell := &gcells[l]; cell.stamp == ep {
+				cnt = cell.cnt
+			}
+			e.cnt[c] = cnt
+		}
+	} else {
+		base := &m.ps.rows[v]
+		if ctx.ovl == nil {
+			for c, l := range cand {
+				e.cnt[c] = base.get(int32(l))
+			}
+		} else {
+			orow := &ctx.ovl.rows[v]
+			for c, l := range cand {
+				e.cnt[c] = base.get(int32(l)) + orow.get(int32(l))
+			}
+		}
+	}
+	b.built++
+	return e
+}
+
+// shift applies one ±1 venue-count move of the author's own draw — the
+// store write plus the in-place batch repair. Counts are venue-local,
+// so the delta hits exactly the matching venue's entry at candidate
+// index ci (venues are unique across entries; other venues' counts at
+// that city are untouched — only their ψ̂ denominator moved, and ψ̂ is
+// recomputed from live sums at fill time, never cached).
+func (b *tweetBatch) shift(ctx *sweepCtx, cand []gazetteer.CityID, ci int, v gazetteer.VenueID, d float64) {
+	ctx.shiftVenue(cand[ci], v, d)
+	if int(v) < len(b.vstamp) && b.vstamp[v] == b.epoch {
+		b.entries[b.vslot[v]].cnt[ci] += d
+		b.repairs++
+	}
+}
+
+// theta is Model.theta with the division amortized through the cached
+// reciprocal (see the field comment).
+func (b *tweetBatch) theta(m *Model, u int32, idx int, excludeSelf bool) float64 {
+	num := m.phi[u][idx] + m.cands.gamma[u][idx]
+	den := m.phiSum[u] + m.cands.gammaSum[u]
+	if excludeSelf {
+		num--
+		den--
+	}
+	if num < 0 {
+		num = 0
+	}
+	if den <= 0 {
+		return 0
+	}
+	if den != b.thetaDen {
+		b.thetaDen = den
+		b.thetaRDen = 1 / den
+	}
+	return num * b.thetaRDen
+}
+
+// updateTweetStoreBatched is the batched form of updateTweetStore,
+// active when Model.batched (fused pipeline + venue-major store +
+// Config.TweetBatch on). Same conditionals, same two draws, identical
+// RNG consumption; the per-candidate ψ̂ resolution is served from the
+// per-author batch cache instead of per-draw gathers, and the Eq. 6/9
+// exclusion is applied to the one candidate index it affects (candidate
+// cities are unique within a user's set, so only the current
+// assignment's index carries the excluded city).
+func (m *Model) updateTweetStoreBatched(ctx *sweepCtx, k int) {
+	t := m.corpus.Tweets[k]
+	u := t.User
+	cand := m.cands.cand[u]
+	pg := m.pg[u]
+	phi := m.phi[u]
+	counted := !m.nu[k]
+
+	b := &ctx.batch
+	if b.iter != m.curIter || b.user != int32(u) {
+		b.resetFor(int32(u), m.curIter)
+	}
+
+	// --- z_k (Eq. 9) ---
+	zi := int(m.tz[k])
+	exCity := cand[zi]
+	if counted {
+		phi[zi]--
+		m.phiSum[u]--
+		pg[zi]--
+	}
+	cum := ctx.arena.cumBuf(len(cand))
+	cum = cum[:len(cand)]
+	pgv := pg[:len(cand)]
+	var total float64
+	var e *batchEntry
+	if counted {
+		// ψ̂ computed inline from the cached counts — the identical
+		// expressions tweetStoreCum runs (maintained-reciprocal multiply
+		// off-overlay, psiFrom division on-overlay, cnt−1/sum−1 at the
+		// excluded index), minus the per-draw gather. Candidate cities
+		// are unique per user, so the exclusion hits exactly index zi.
+		e = b.entryFor(ctx, t.Venue, cand)
+		cnt := e.cnt[:len(cand)]
+		if ctx.ovl == nil {
+			rs, delta := m.venueRSum, m.cfg.Delta
+			for c, l := range cand {
+				var p float64
+				if c != zi {
+					p = (cnt[c] + delta) * rs[l]
+				} else {
+					p = m.psiFrom(cnt[c]-1, m.venueSum[l]-1)
+				}
+				total += pgv[c] * p
+				cum[c] = total
+			}
+		} else {
+			ovlSum := ctx.ovlSum
+			for c, l := range cand {
+				cc := cnt[c]
+				sum := m.venueSum[l] + ovlSum[l]
+				if c == zi {
+					cc--
+					sum--
+				}
+				total += pgv[c] * m.psiFrom(cc, sum)
+				cum[c] = total
+			}
+		}
+	} else {
+		for c := range pgv {
+			total += pgv[c]
+			cum[c] = total
+		}
+	}
+	next := randutil.InvertCum(ctx.rng, cum)
+	if next < 0 {
+		next = zi
+	}
+	m.tz[k] = uint16(next)
+	if counted {
+		phi[next]++
+		m.phiSum[u]++
+		pg[next]++
+		if cand[next] != exCity {
+			b.shift(ctx, cand, zi, t.Venue, -1)
+			b.shift(ctx, cand, next, t.Venue, 1)
+		}
+	}
+	zi = next
+
+	// --- ν_k (Eq. 6) ---
+	if m.cfg.RhoT <= 0 || m.curIter <= m.cfg.NoiseBurnIn {
+		return
+	}
+	z := cand[zi]
+	var psiZ float64
+	if counted {
+		// Exclude self against the z-step's (since repaired) entry:
+		// e.cnt[zi] already includes the moved-in assignment, exactly the
+		// post-move count the unbatched kernel reads back before its −1.
+		// The pointer is still valid — only entryFor recycles slots, and
+		// none ran since the fill.
+		sum := m.venueSum[z]
+		if ctx.ovl != nil {
+			sum += ctx.ovlSum[z]
+		}
+		psiZ = m.psiFrom(e.cnt[zi]-1, sum-1)
+	} else {
+		psiZ = ctx.psi(z, t.Venue)
+	}
+	thetaZ := b.theta(m, int32(u), zi, counted)
+	p1 := m.cfg.RhoT * m.tr[t.Venue]
+	p0 := (1 - m.cfg.RhoT) * thetaZ * psiZ
+	noisy := randutil.Bernoulli(ctx.rng, p1/(p0+p1))
+	if noisy == m.nu[k] {
+		return
+	}
+	m.nu[k] = noisy
+	if noisy {
+		phi[zi]--
+		m.phiSum[u]--
+		pg[zi]--
+		b.shift(ctx, cand, zi, t.Venue, -1)
+	} else {
+		phi[zi]++
+		m.phiSum[u]++
+		pg[zi]++
+		b.shift(ctx, cand, zi, t.Venue, 1)
+	}
+}
+
+// TweetBatchStats aggregates the batching layer's counters across every
+// sampler stream of a fit: entries gathered, entries reused, and
+// in-place repairs after the author's own draws. All zero when the
+// batch layer is inactive.
+type TweetBatchStats struct {
+	Built, Hits, Repairs int64
+}
+
+// TweetBatchStats returns the fit's aggregated batching counters. Safe
+// to call between sweeps or after Fit (the per-stream counters are only
+// written inside a sweep phase).
+func (m *Model) TweetBatchStats() TweetBatchStats {
+	var s TweetBatchStats
+	add := func(ctx *sweepCtx) {
+		if ctx == nil {
+			return
+		}
+		s.Built += ctx.batch.built
+		s.Hits += ctx.batch.hits
+		s.Repairs += ctx.batch.repairs
+	}
+	add(m.seq)
+	for _, ctx := range m.parCtxs {
+		add(ctx)
+	}
+	for _, ctx := range m.shCtxs {
+		add(ctx)
+	}
+	return s
+}
+
+// TweetBatchActive reports whether the fit ran the batched tweet kernel
+// (Config.TweetBatch on top of the fused pipeline and the venue-major
+// store).
+func (m *Model) TweetBatchActive() bool { return m.batched }

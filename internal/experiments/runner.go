@@ -63,6 +63,16 @@ type Options struct {
 	// FusedDraw selects the categorical draw pipeline (default fused;
 	// core.FusedDrawOff runs the reference fill + Categorical path).
 	FusedDraw core.FusedDrawMode
+	// TweetBatch selects per-author tweet-draw batching (default on;
+	// core.TweetBatchOff runs the reference per-draw gather).
+	TweetBatch core.TweetBatchMode
+	// Layout selects the per-user state memory layout (default
+	// interleaved slabs; core.LayoutOff keeps per-user allocations).
+	Layout core.LayoutMode
+	// SparseBins selects the distance-table representation above the
+	// dense pair-matrix ceiling (default sparse per-city bin rows;
+	// core.SparseBinsOff falls back to per-lookup quantization).
+	SparseBins core.SparseBinsMode
 }
 
 func (o Options) withDefaults() Options {
@@ -253,6 +263,9 @@ func (r *Runner) runFold(f int, test []dataset.UserID) (*foldResult, error) {
 			DistTable:     r.opts.DistTable,
 			PsiStore:      r.opts.PsiStore,
 			FusedDraw:     r.opts.FusedDraw,
+			TweetBatch:    r.opts.TweetBatch,
+			Layout:        r.opts.Layout,
+			SparseBins:    r.opts.SparseBins,
 		}
 		if name == MethodMLP && f == 0 {
 			// Fig. 5: trace test accuracy across sweeps.
@@ -328,6 +341,9 @@ func (r *Runner) ensureFull() error {
 		DistTable:     r.opts.DistTable,
 		PsiStore:      r.opts.PsiStore,
 		FusedDraw:     r.opts.FusedDraw,
+		TweetBatch:    r.opts.TweetBatch,
+		Layout:        r.opts.Layout,
+		SparseBins:    r.opts.SparseBins,
 	})
 	if err != nil {
 		return err
