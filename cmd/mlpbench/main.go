@@ -130,7 +130,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Printf("mlpbench: closing cpu profile %s: %v", *cpuprofile, err)
+			}
+		}()
 		if err := pprof.StartCPUProfile(f); err != nil {
 			log.Fatal(err)
 		}
@@ -279,7 +283,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Printf("mlpbench: closing mem profile %s: %v", *memprofile, err)
+			}
+		}()
 		runtime.GC()
 		if err := pprof.WriteHeapProfile(f); err != nil {
 			fatal(err)

@@ -1,0 +1,118 @@
+// mlplint is the repo's multichecker: it runs the internal/analysis
+// invariant suite (maporder, wallclock, seedrand, lockcheck,
+// closecheck) over Go package patterns and exits non-zero on any
+// unsuppressed finding. CI runs it blocking, right after go vet:
+//
+//	go run ./cmd/mlplint ./...
+//
+// Findings print one per line as file:line:col: analyzer: message, or
+// as a JSON array with -json. Intentional exceptions are annotated in
+// source with //mlp:allow <analyzer> <justification> (see
+// internal/analysis and DESIGN.md §15).
+//
+// Exit codes: 0 clean, 1 findings, 2 usage or load error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strings"
+
+	"mlprofile/internal/analysis"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		jsonOut        = flag.Bool("json", false, "emit findings as a JSON array")
+		analyzersFlag  = flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+		pkgFilter      = flag.String("pkg", "", "only report packages whose import path matches this regexp")
+		wallclockAllow = flag.String("wallclock.allow", "", "comma-separated file path suffixes exempt from wallclock (adds to the built-in allowlist)")
+		list           = flag.Bool("list", false, "list analyzers and exit")
+		verbose        = flag.Bool("v", false, "report suppressed-annotation counts to stderr")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	analyzers, err := analysis.ByName(*analyzersFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mlplint:", err)
+		return 2
+	}
+	if *wallclockAllow != "" {
+		analysis.AllowWallclockFiles(strings.Split(*wallclockAllow, ",")...)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.LoadPackages("", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mlplint:", err)
+		return 2
+	}
+	if *pkgFilter != "" {
+		re, err := regexp.Compile(*pkgFilter)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mlplint: bad -pkg regexp:", err)
+			return 2
+		}
+		kept := pkgs[:0]
+		for _, p := range pkgs {
+			if re.MatchString(p.PkgPath) {
+				kept = append(kept, p)
+			}
+		}
+		pkgs = kept
+	}
+
+	diags, suppressed, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mlplint:", err)
+		return 2
+	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "mlplint: %d package(s), %d finding(s), %d suppressed by //mlp:allow\n", len(pkgs), len(diags), suppressed)
+	}
+
+	if *jsonOut {
+		type jsonDiag struct {
+			Analyzer string `json:"analyzer"`
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Column   int    `json:"column"`
+			Message  string `json:"message"`
+		}
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{d.Analyzer, d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "mlplint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s:%d:%d: %s: %s\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "mlplint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		comment string
+		names   []string
+		just    string
+		ok      bool
+	}{
+		{"//mlp:allow maporder keys sorted below", []string{"maporder"}, "keys sorted below", true},
+		{"//mlp:allow maporder", []string{"maporder"}, "", true},
+		{"//mlp:allow maporder,wallclock shared reason", []string{"maporder", "wallclock"}, "shared reason", true},
+		{"// ordinary comment", nil, "", false},
+		{"//mlp:allowmaporder no space", nil, "", false},
+		{"//mlp:allow   ", nil, "", false},
+	}
+	for _, c := range cases {
+		names, just, ok := parseAllow(c.comment)
+		if ok != c.ok || just != c.just || strings.Join(names, "|") != strings.Join(c.names, "|") {
+			t.Errorf("parseAllow(%q) = (%v, %q, %v), want (%v, %q, %v)", c.comment, names, just, ok, c.names, c.just, c.ok)
+		}
+	}
+}
+
+func TestParseAllowMarkerSpacing(t *testing.T) {
+	// gofmt may normalize "//mlp:allow" — the parser accepts only the
+	// directive form (no space), matching Go directive conventions like
+	// //go:generate.
+	if names, _, ok := parseAllow("// mlp:allow maporder reason"); ok {
+		t.Errorf("space after // should not parse as a directive, got %v", names)
+	}
+}
+
+func TestByName(t *testing.T) {
+	all, err := ByName("")
+	if err != nil || len(all) != 5 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 5, nil", len(all), err)
+	}
+	subset, err := ByName("maporder, closecheck")
+	if err != nil || len(subset) != 2 || subset[0].Name != "maporder" || subset[1].Name != "closecheck" {
+		t.Fatalf("ByName subset = %v, err %v", subset, err)
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Fatal("ByName(nosuch) should error")
+	}
+}
+
+func TestAnalyzerNamesUniqueAndDocumented(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v incomplete", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %s", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}
+
+func TestParseWant(t *testing.T) {
+	res, err := parseWant(`// want "early return" "break"`)
+	if err != nil || len(res) != 2 {
+		t.Fatalf("parseWant two patterns: %v, err %v", res, err)
+	}
+	if res, err := parseWant("// plain comment"); err != nil || res != nil {
+		t.Fatalf("non-want comment should be nil, got %v err %v", res, err)
+	}
+	if _, err := parseWant(`// want notquoted`); err == nil {
+		t.Fatal("want with no quoted pattern should error")
+	}
+	if _, err := parseWant(`// want "(unclosed"`); err == nil {
+		t.Fatal("bad regexp should error")
+	}
+}

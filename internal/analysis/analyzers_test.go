@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// runFixtureTest is the shared analysistest harness entry: load dir as
+// asPath, run a, assert every want matched and nothing unexpected.
+func runFixtureTest(t *testing.T, a *Analyzer, dir, asPath string) {
+	t.Helper()
+	problems, err := RunFixture(a, dir, asPath)
+	if err != nil {
+		t.Fatalf("RunFixture(%s, %s): %v", a.Name, dir, err)
+	}
+	for _, p := range problems {
+		t.Error(p)
+	}
+}
+
+func TestMaporderFixtures(t *testing.T) {
+	runFixtureTest(t, Maporder, "testdata/maporder/det", "mlprofile/internal/synth")
+}
+
+func TestMaporderSilentOutsideDeterministicPackages(t *testing.T) {
+	// Same side-effecting shapes, non-deterministic import path: the
+	// fixture has no want comments, so any diagnostic is a problem.
+	runFixtureTest(t, Maporder, "testdata/maporder/nondet", "mlprofile/internal/serve")
+}
+
+func TestWallclockFixtures(t *testing.T) {
+	runFixtureTest(t, Wallclock, "testdata/wallclock/det", "mlprofile/internal/core")
+}
+
+func TestWallclockSilentOutsideDeterministicPackages(t *testing.T) {
+	pkg, err := LoadFixture("testdata/wallclock/det", "mlprofile/internal/serve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := NewPass(Wallclock, pkg)
+	if err := Wallclock.Run(pass); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(pass.Diagnostics()); n != 0 {
+		t.Fatalf("wallclock reported %d findings outside the deterministic set: %v", n, pass.Diagnostics())
+	}
+}
+
+func TestWallclockAllowlist(t *testing.T) {
+	load := func() *Pass {
+		pkg, err := LoadFixture("testdata/wallclock/allowfile", "mlprofile/internal/core")
+		if err != nil {
+			t.Fatal(err)
+		}
+		pass := NewPass(Wallclock, pkg)
+		if err := Wallclock.Run(pass); err != nil {
+			t.Fatal(err)
+		}
+		return pass
+	}
+	before := load()
+	if n := len(before.Diagnostics()); n != 1 {
+		t.Fatalf("expected exactly 1 wallclock finding before allowlisting, got %d: %v", n, before.Diagnostics())
+	}
+	if msg := before.Diagnostics()[0].Message; !strings.Contains(msg, "time.Since") {
+		t.Fatalf("unexpected finding message: %s", msg)
+	}
+	AllowWallclockFiles("testdata/wallclock/allowfile/clock.go")
+	defer func() { // restore so other tests (and test ordering) see the default list
+		wallclockMu.Lock()
+		wallclockAllowFiles = []string{"internal/core/phase.go"}
+		wallclockMu.Unlock()
+	}()
+	after := load()
+	if n := len(after.Diagnostics()); n != 0 {
+		t.Fatalf("allowlisted file still reported %d findings: %v", n, after.Diagnostics())
+	}
+}
+
+func TestSeedrandFixtures(t *testing.T) {
+	// seedrand runs everywhere; use a path outside the deterministic set
+	// to prove it.
+	runFixtureTest(t, Seedrand, "testdata/seedrand", "mlprofile/internal/serve")
+}
+
+func TestLockcheckFixtures(t *testing.T) {
+	runFixtureTest(t, Lockcheck, "testdata/lockcheck", "mlprofile/internal/core")
+}
+
+func TestClosecheckFixtures(t *testing.T) {
+	runFixtureTest(t, Closecheck, "testdata/closecheck", "mlprofile/internal/dataset")
+}
+
+func TestLockcheckAppliesOutsideDeterministicPackages(t *testing.T) {
+	// lockcheck (like seedrand and closecheck) is not gated on the
+	// deterministic set: the same fixture must produce identical
+	// findings under a serve-layer import path.
+	runFixtureTest(t, Lockcheck, "testdata/lockcheck", "mlprofile/internal/serve")
+}

@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Closecheck flags discarded error results from the three calls whose
+// failure means silent data loss — (*os.File).Close on a file this
+// function opened writable (os.Create / os.OpenFile / os.CreateTemp),
+// (*encoding/json.Encoder).Encode, and (*bufio.Writer).Flush — when
+// the call appears as a bare statement, a defer, or `_ = call`. The
+// PR 5/6 truth.json bugs were exactly this class: a full disk
+// truncates the write and the error vanishes in Close. Read-only
+// closes (os.Open provenance, or receivers of unknown provenance such
+// as parameters) are not flagged: their error carries no data-loss
+// signal. `_ = f.Close()` is still a finding — explicitly discarding
+// needs an //mlp:allow closecheck justification so the "why it is
+// safe here" is recorded at the call site.
+var Closecheck = &Analyzer{
+	Name: "closecheck",
+	Doc: "writable-file Close, json Encoder.Encode, and bufio Writer.Flush errors " +
+		"must be checked; explicit discards need //mlp:allow closecheck",
+	Run: runClosecheck,
+}
+
+func runClosecheck(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			writable := writableFiles(pass, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				var call *ast.CallExpr
+				discard := ""
+				switch n := n.(type) {
+				case *ast.ExprStmt:
+					call, _ = n.X.(*ast.CallExpr)
+					discard = "discarded"
+				case *ast.DeferStmt:
+					call = n.Call
+					discard = "discarded by defer"
+				case *ast.AssignStmt:
+					if len(n.Lhs) == 1 && len(n.Rhs) == 1 && isBlank(n.Lhs[0]) {
+						call, _ = n.Rhs[0].(*ast.CallExpr)
+						discard = "explicitly discarded"
+					}
+				}
+				if call == nil {
+					return true
+				}
+				if kind, recv := errorBearingCall(pass, call, writable); kind != "" {
+					pass.Reportf(call.Pos(), "%s error %s%s; check it or annotate //mlp:allow closecheck with why losing it is safe", kind, discard, recv)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// errorBearingCall classifies call as one of the three must-check
+// calls, returning a description and receiver note ("" = not one).
+func errorBearingCall(pass *Pass, call *ast.CallExpr, writable map[types.Object]bool) (kind, recvNote string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	selection := pass.TypesInfo.Selections[sel]
+	if selection == nil || selection.Kind() != types.MethodVal {
+		return "", ""
+	}
+	fn, ok := selection.Obj().(*types.Func)
+	if !ok {
+		return "", ""
+	}
+	recvType := selection.Recv().String()
+	switch {
+	case fn.Name() == "Close" && recvType == "*os.File":
+		root := rootIdentObj(pass, sel.X)
+		if root == nil || !writable[root] {
+			return "", "" // read-only or unknown provenance
+		}
+		return "Close of writable file", " (" + types.ExprString(sel.X) + " opened for writing in this function)"
+	case fn.Name() == "Encode" && recvType == "*encoding/json.Encoder":
+		return "json Encode", ""
+	case fn.Name() == "Flush" && recvType == "*bufio.Writer":
+		return "bufio Flush", ""
+	}
+	return "", ""
+}
+
+// writableFiles collects the objects of local variables assigned from
+// os.Create / os.OpenFile / os.CreateTemp anywhere in body.
+func writableFiles(pass *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		a, ok := n.(*ast.AssignStmt)
+		if !ok || len(a.Rhs) != 1 || len(a.Lhs) == 0 {
+			return true
+		}
+		call, ok := ast.Unparen(a.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "os" {
+			return true
+		}
+		switch fn.Name() {
+		case "Create", "OpenFile", "CreateTemp":
+			if id, ok := a.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+				if obj := identObj(pass, id); obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func identObj(pass *Pass, id *ast.Ident) types.Object {
+	if obj := pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+// rootIdentObj resolves the leftmost identifier of a (possibly
+// selected/indexed) receiver expression to its object.
+func rootIdentObj(pass *Pass, expr ast.Expr) types.Object {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			return identObj(pass, e)
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

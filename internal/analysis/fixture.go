@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+)
+
+// RunFixture is the analysistest-style harness: it type-checks the
+// fixture directory dir as if its package import path were asPath
+// (so deterministic-package gating can be exercised from testdata),
+// runs one analyzer, and diffs the findings against `// want "re"`
+// expectation comments in the fixtures. Each quoted string after
+// `want` is a regexp that must match a diagnostic reported on that
+// comment's line; diagnostics with no matching want, and wants with
+// no matching diagnostic, both come back as problems. It lives in the
+// package proper (not _test.go) so it needs no testing import and
+// stays usable from any package's tests.
+func RunFixture(a *Analyzer, dir, asPath string) (problems []string, err error) {
+	pkg, err := LoadFixture(dir, asPath)
+	if err != nil {
+		return nil, err
+	}
+	pass := NewPass(a, pkg)
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				patterns, perr := parseWant(c.Text)
+				if perr != nil {
+					pos := pkg.Fset.Position(c.Pos())
+					return nil, fmt.Errorf("%s:%d: %v", pos.Filename, pos.Line, perr)
+				}
+				if len(patterns) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				wants[key{pos.Filename, pos.Line}] = append(wants[key{pos.Filename, pos.Line}], patterns...)
+			}
+		}
+	}
+
+	for _, d := range pass.Diagnostics() {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		matched := false
+		for i, re := range wants[k] {
+			if re != nil && re.MatchString(d.Message) {
+				wants[k][i] = nil // each want matches one diagnostic
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			problems = append(problems, fmt.Sprintf("%s:%d: unexpected %s diagnostic: %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message))
+		}
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			if re != nil {
+				problems = append(problems, fmt.Sprintf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, re))
+			}
+		}
+	}
+	return problems, nil
+}
+
+var (
+	wantRe    = regexp.MustCompile(`//\s*want\s+(.*)$`)
+	wantArgRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+)
+
+// parseWant extracts the compiled regexps from a `// want "a" "b"`
+// comment ("" if the comment is not a want).
+func parseWant(text string) ([]*regexp.Regexp, error) {
+	m := wantRe.FindStringSubmatch(text)
+	if m == nil {
+		return nil, nil
+	}
+	var out []*regexp.Regexp
+	for _, q := range wantArgRe.FindAllString(m[1], -1) {
+		s, err := strconv.Unquote(q)
+		if err != nil {
+			return nil, fmt.Errorf("bad want pattern %s: %v", q, err)
+		}
+		re, err := regexp.Compile(s)
+		if err != nil {
+			return nil, fmt.Errorf("bad want regexp %q: %v", s, err)
+		}
+		out = append(out, re)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("want comment with no quoted patterns: %s", text)
+	}
+	return out, nil
+}

@@ -1,0 +1,219 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// A LoadedPackage is one type-checked package ready for analysis:
+// syntax for the package's own files, types for everything it imports
+// (via compiler export data, the same way `go vet` drivers work).
+type LoadedPackage struct {
+	PkgPath string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// listEntry is the subset of `go list -json` output the loader needs.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Name       string
+}
+
+// goList shells out to `go list` in dir and decodes the JSON stream.
+func goList(dir string, args ...string) ([]listEntry, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go %s: %w\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var entries []listEntry
+	dec := json.NewDecoder(&stdout)
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list decode: %w", err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// exportImporter resolves imports from compiler export data files
+// produced by `go list -export`. One instance is shared across all
+// target packages so the stdlib is decoded once.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// LoadPackages type-checks every package matching patterns (module
+// syntax, e.g. "./..." or "mlprofile/internal/core"), run from dir
+// ("" = current directory). Dependencies come from export data, the
+// matched packages themselves from source so analyzers see syntax.
+func LoadPackages(dir string, patterns ...string) ([]*LoadedPackage, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	deps, err := goList(dir, append([]string{"list", "-deps", "-export", "-json=ImportPath,Export"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(deps))
+	for _, e := range deps {
+		exports[e.ImportPath] = e.Export
+	}
+	targets, err := goList(dir, append([]string{"list", "-json=ImportPath,Dir,GoFiles,Name"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var out []*LoadedPackage
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("parse %s: %w", name, err)
+			}
+			files = append(files, f)
+		}
+		pkg, info, err := checkFiles(fset, imp, t.ImportPath, files)
+		if err != nil {
+			return nil, fmt.Errorf("typecheck %s: %w", t.ImportPath, err)
+		}
+		out = append(out, &LoadedPackage{
+			PkgPath: t.ImportPath,
+			Dir:     t.Dir,
+			Fset:    fset,
+			Files:   files,
+			Types:   pkg,
+			Info:    info,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PkgPath < out[j].PkgPath })
+	return out, nil
+}
+
+// LoadFixture type-checks a directory of fixture files as if its
+// package lived at asPath — so deterministic-package-gated analyzers
+// can be exercised from testdata trees. Imports are resolved through
+// fresh export data for exactly the import set the fixtures mention
+// (stdlib and module-internal paths both work).
+func LoadFixture(dir, asPath string) (*LoadedPackage, error) {
+	names, err := fixtureFileNames(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	importSet := map[string]bool{}
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", name, err)
+		}
+		files = append(files, f)
+		for _, spec := range f.Imports {
+			p, err := strconv.Unquote(spec.Path.Value)
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad import %s", name, spec.Path.Value)
+			}
+			if p != "unsafe" {
+				importSet[p] = true
+			}
+		}
+	}
+	exports := map[string]string{}
+	if len(importSet) > 0 {
+		imports := make([]string, 0, len(importSet))
+		for p := range importSet {
+			imports = append(imports, p)
+		}
+		sort.Strings(imports)
+		deps, err := goList("", append([]string{"list", "-deps", "-export", "-json=ImportPath,Export"}, imports...)...)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range deps {
+			exports[e.ImportPath] = e.Export
+		}
+	}
+	pkg, info, err := checkFiles(fset, exportImporter(fset, exports), asPath, files)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck fixture %s: %w", dir, err)
+	}
+	return &LoadedPackage{PkgPath: asPath, Dir: dir, Fset: fset, Files: files, Types: pkg, Info: info}, nil
+}
+
+func fixtureFileNames(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no .go fixtures in %s", dir)
+	}
+	return names, nil
+}
+
+// checkFiles runs go/types over one package's syntax with full Info
+// maps populated (analyzers need Uses/Defs/Selections/Types).
+func checkFiles(fset *token.FileSet, imp types.Importer, pkgPath string, files []*ast.File) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}

@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// Lockcheck enforces `// guarded by <mu>` field annotations: a struct
+// field whose declaration carries that comment may only be selected
+// (read OR written — PR 9's race was a pair of reads) inside
+// functions that lock or RLock a mutex field of that name, anywhere
+// in their body. The approximation is deliberately flow-insensitive:
+// it does not prove the lock is held *at* the access, only that the
+// function participates in the locking discipline at all — exactly
+// the check that would have caught PR 9's sparse-row refresh reading
+// r.epoch/r.pow outside the RLock, where the function never touched
+// the mutex.
+//
+// Two escape hatches: functions whose name ends in "Locked" assert
+// the caller holds the lock (the usual Go idiom), and
+// //mlp:allow lockcheck <justification> covers constructor-style
+// publication where the value has not escaped yet.
+var Lockcheck = &Analyzer{
+	Name: "lockcheck",
+	Doc: "fields annotated `// guarded by <mu>` may only be accessed in functions " +
+		"that Lock/RLock that mutex (or are named *Locked, or carry //mlp:allow lockcheck)",
+	Run: runLockcheck,
+}
+
+var guardedByRe = regexp.MustCompile(`guarded by (\w+)`)
+
+func runLockcheck(pass *Pass) error {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if strings.HasSuffix(fd.Name.Name, "Locked") {
+				continue
+			}
+			locked := lockedMutexNames(pass, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				selection := pass.TypesInfo.Selections[sel]
+				if selection == nil || selection.Kind() != types.FieldVal {
+					return true
+				}
+				field, ok := selection.Obj().(*types.Var)
+				if !ok {
+					return true
+				}
+				mu, guarded := guards[field]
+				if !guarded || locked[mu] {
+					return true
+				}
+				pass.Reportf(sel.Sel.Pos(), "%s is guarded by %s, but %s never locks it; take %s.Lock/RLock, rename the function *Locked, or annotate //mlp:allow lockcheck", field.Name(), mu, fd.Name.Name, mu)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// collectGuards maps each `// guarded by <mu>`-annotated field object
+// to its mutex field name.
+func collectGuards(pass *Pass) map[*types.Var]string {
+	guards := map[*types.Var]string{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := guardAnnotation(field)
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						guards[v] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// lockedMutexNames returns the set of mutex field/variable names the
+// body locks via <expr>.<name>.Lock(), <expr>.<name>.RLock(), or
+// <name>.Lock()/<name>.RLock() on a local mutex.
+func lockedMutexNames(pass *Pass, body *ast.BlockStmt) map[string]bool {
+	locked := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		switch recv := ast.Unparen(sel.X).(type) {
+		case *ast.SelectorExpr:
+			locked[recv.Sel.Name] = true
+		case *ast.Ident:
+			locked[recv.Name] = true
+		}
+		return true
+	})
+	return locked
+}

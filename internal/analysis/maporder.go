@@ -1,0 +1,271 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Maporder flags `range` over a map inside a deterministic package
+// when the loop body has side effects that make program behavior
+// depend on Go's randomized map iteration order: early returns, loop
+// breaks, appends or plain assignments to variables declared outside
+// the loop, writes through selectors/indexes/pointers into shared
+// state, deletes from other maps, channel sends, and RNG draws
+// (math/rand or randutil). The fix is to iterate sorted keys (or a
+// fixed slice); an intentional exception needs
+// //mlp:allow maporder <justification>.
+//
+// Known approximations, documented so audits stay honest: compound
+// assignments to outer scalars (sum += v) are NOT flagged — they are
+// order-independent for the integer counters this repo uses, and
+// float accumulation order is already covered by the golden
+// fingerprints; writes through loop-local pointers obtained from the
+// map are not flagged; mutation hidden behind method calls is not
+// flagged.
+var Maporder = &Analyzer{
+	Name: "maporder",
+	Doc: "flag side-effecting range-over-map in deterministic packages " +
+		"(internal/core, dataset, synth, randutil, experiments); " +
+		"iterate sorted keys or annotate //mlp:allow maporder",
+	Run: runMaporder,
+}
+
+func runMaporder(pass *Pass) error {
+	if !IsDeterministic(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if rng.Tok == token.ASSIGN {
+				pass.Reportf(rng.For, "range over map %s assigns pre-declared iteration variables whose final values depend on map order; use := or iterate sorted keys", types.ExprString(rng.X))
+				return true
+			}
+			if effect := (&mapRangeScan{pass: pass, rng: rng}).scan(); effect != "" {
+				pass.Reportf(rng.For, "range over map %s in deterministic package has a side effect in its body (%s); iterate sorted keys instead or annotate //mlp:allow maporder", types.ExprString(rng.X), effect)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type mapRangeScan struct {
+	pass   *Pass
+	rng    *ast.RangeStmt
+	effect string
+}
+
+// scan walks the loop body and returns a description of the first
+// order-sensitive side effect, or "" if the body is order-safe.
+func (s *mapRangeScan) scan() string {
+	s.walk(s.rng.Body, 0, 0)
+	return s.effect
+}
+
+// walk visits n. funcDepth counts enclosing func literals (return and
+// break inside them do not exit the range loop); loopDepth counts
+// enclosing breakable constructs (an unlabeled break inside them does
+// not bind to the range loop).
+func (s *mapRangeScan) walk(n ast.Node, funcDepth, loopDepth int) {
+	if n == nil || s.effect != "" {
+		return
+	}
+	switch n := n.(type) {
+	case *ast.FuncLit:
+		s.walk(n.Body, funcDepth+1, loopDepth)
+		return
+	case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		for _, c := range childNodes(n) {
+			s.walk(c, funcDepth, loopDepth+1)
+		}
+		return
+	case *ast.ReturnStmt:
+		if funcDepth == 0 {
+			s.effect = "early return"
+			return
+		}
+	case *ast.BranchStmt:
+		if n.Tok == token.BREAK && n.Label == nil && funcDepth == 0 && loopDepth == 0 {
+			s.effect = "break makes the set of visited keys order-dependent"
+			return
+		}
+	case *ast.AssignStmt:
+		s.checkAssign(n)
+	case *ast.IncDecStmt:
+		if s.sharedWriteTarget(n.X) {
+			s.effect = "write to shared state (" + types.ExprString(n.X) + ")"
+		}
+	case *ast.SendStmt:
+		s.effect = "channel send"
+		return
+	case *ast.CallExpr:
+		s.checkCall(n)
+	}
+	if s.effect != "" {
+		return
+	}
+	for _, c := range childNodes(n) {
+		s.walk(c, funcDepth, loopDepth)
+	}
+}
+
+// checkAssign flags plain assignments and appends that land outside
+// the loop, and any write through a selector/index/pointer into
+// shared state. Compound ops on plain outer identifiers (sum += v)
+// are deliberately exempt — see the Analyzer doc.
+func (s *mapRangeScan) checkAssign(a *ast.AssignStmt) {
+	for i, lhs := range a.Lhs {
+		switch lhs := lhs.(type) {
+		case *ast.Ident:
+			if a.Tok != token.ASSIGN || !s.outerIdent(lhs) {
+				continue
+			}
+			if i < len(a.Rhs) && isAppendCall(a.Rhs[i]) {
+				s.effect = "append to outer slice " + lhs.Name
+			} else if len(a.Rhs) == 1 && len(a.Lhs) > 1 && isAppendCall(a.Rhs[0]) {
+				s.effect = "append to outer slice " + lhs.Name
+			} else {
+				s.effect = "assignment to outer variable " + lhs.Name
+			}
+			return
+		case *ast.IndexExpr, *ast.SelectorExpr, *ast.StarExpr:
+			if s.sharedWriteTarget(lhs) {
+				s.effect = "write to shared state (" + types.ExprString(lhs) + ")"
+				return
+			}
+		}
+	}
+}
+
+// checkCall flags RNG draws and deletes from maps other than the one
+// being ranged over.
+func (s *mapRangeScan) checkCall(call *ast.CallExpr) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fun.Name == "delete" && s.pass.TypesInfo.Uses[fun] == types.Universe.Lookup("delete") && len(call.Args) == 2 {
+			if types.ExprString(call.Args[0]) != types.ExprString(s.rng.X) && s.sharedWriteRoot(call.Args[0]) {
+				s.effect = "delete from shared map " + types.ExprString(call.Args[0])
+			}
+			return
+		}
+		if fn := s.callee(fun); fn != nil && isRNGPackage(fn) {
+			s.effect = "RNG draw via " + fn.FullName()
+		}
+	case *ast.SelectorExpr:
+		if fn := s.callee(fun.Sel); fn != nil && isRNGPackage(fn) {
+			s.effect = "RNG draw via " + fn.FullName()
+		}
+	}
+}
+
+func (s *mapRangeScan) callee(id *ast.Ident) *types.Func {
+	fn, _ := s.pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+// isRNGPackage reports whether fn lives in a package whose draws
+// consume randomness: math/rand, math/rand/v2, or the repo's
+// randutil streams.
+func isRNGPackage(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	switch pkg.Path() {
+	case "math/rand", "math/rand/v2", "mlprofile/internal/randutil":
+		return true
+	}
+	return false
+}
+
+// outerIdent reports whether id resolves to a variable declared
+// outside the range statement (including package-level state).
+func (s *mapRangeScan) outerIdent(id *ast.Ident) bool {
+	if id.Name == "_" {
+		return false
+	}
+	obj := s.pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = s.pass.TypesInfo.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() < s.rng.Pos() || obj.Pos() > s.rng.End()
+}
+
+// sharedWriteTarget reports whether writing through expr mutates
+// state that survives the loop: the expression's root identifier is
+// declared outside the range statement (or is not a plain
+// identifier at all).
+func (s *mapRangeScan) sharedWriteTarget(expr ast.Expr) bool {
+	switch expr.(type) {
+	case *ast.IndexExpr, *ast.SelectorExpr, *ast.StarExpr:
+		return s.sharedWriteRoot(expr)
+	}
+	return false
+}
+
+func (s *mapRangeScan) sharedWriteRoot(expr ast.Expr) bool {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			return s.outerIdent(e)
+		case *ast.SelectorExpr:
+			// Qualified package identifiers (pkg.Var) are always shared.
+			if id, ok := e.X.(*ast.Ident); ok {
+				if _, isPkg := s.pass.TypesInfo.Uses[id].(*types.PkgName); isPkg {
+					return true
+				}
+			}
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		default:
+			return true
+		}
+	}
+}
+
+func isAppendCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "append"
+}
+
+// childNodes collects the direct children of n via ast.Inspect's
+// first level.
+func childNodes(n ast.Node) []ast.Node {
+	var out []ast.Node
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			out = append(out, c)
+		}
+		return false
+	})
+	return out
+}

@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Seedrand runs over every package (not just the deterministic set):
+// it forbids (1) the process-global math/rand state — package-level
+// functions like rand.Intn / rand.Float64 / rand.Seed / rand.Shuffle,
+// whose shared source makes draw order depend on whatever else the
+// process does — and (2) time-seeded sources (a rand.NewSource /
+// rand.New / randutil constructor whose seed argument reads
+// time.Now), which make runs unreproducible by construction.
+// Constructing a local generator from an explicit seed
+// (rand.New(rand.NewSource(cfg.Seed)), randutil.Stream) is the
+// sanctioned pattern and is not flagged.
+var Seedrand = &Analyzer{
+	Name: "seedrand",
+	Doc: "forbid global math/rand state and time-seeded RNG sources everywhere; " +
+		"deterministic code draws from randutil.Stream or an explicitly seeded local source",
+	Run: runSeedrand,
+}
+
+// seedrandLocalCtors are the math/rand package-level functions that
+// build a *local* generator rather than touching the global one.
+var seedrandLocalCtors = map[string]bool{"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true}
+
+func isMathRand(pkg *types.Package) bool {
+	return pkg != nil && (pkg.Path() == "math/rand" || pkg.Path() == "math/rand/v2")
+}
+
+func runSeedrand(pass *Pass) error {
+	for _, f := range pass.Files {
+		// Idents already reported as part of a time-seeded call, so the
+		// global-state walk below does not double-report them.
+		reported := map[*ast.Ident]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			var callee *ast.Ident
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.Ident:
+				callee = fun
+			case *ast.SelectorExpr:
+				callee = fun.Sel
+			default:
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[callee].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			rngCtor := isMathRand(fn.Pkg()) || fn.Pkg().Path() == "mlprofile/internal/randutil"
+			if !rngCtor {
+				return true
+			}
+			for _, arg := range call.Args {
+				if wallID := findWallclockUse(pass, arg); wallID != nil {
+					pass.Reportf(call.Pos(), "RNG source %s is seeded from the wall clock (time.%s); seeds must come from config so runs reproduce", fn.FullName(), pass.TypesInfo.Uses[wallID].(*types.Func).Name())
+					reported[callee] = true
+					// Skip the subtree: nested ctor calls consuming the same
+					// wall-clock seed would double-report this line.
+					return false
+				}
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || reported[id] {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+			if !ok || !isMathRand(fn.Pkg()) {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods on *rand.Rand etc. draw from a local source
+			}
+			if seedrandLocalCtors[fn.Name()] {
+				return true
+			}
+			pass.Reportf(id.Pos(), "%s draws from the process-global math/rand state; use a locally seeded rand.New(rand.NewSource(seed)) or randutil.Stream", fn.FullName())
+			return true
+		})
+	}
+	return nil
+}
+
+// findWallclockUse returns an identifier inside expr that resolves to
+// time.Now / time.Since / time.Until, or nil.
+func findWallclockUse(pass *Pass, expr ast.Expr) *ast.Ident {
+	var found *ast.Ident
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if fn, ok := pass.TypesInfo.Uses[id].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "time" && wallclockFuncs[fn.Name()] {
+			found = id
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSuiteCleanOnRepo is the merge gate mirrored in-process: every
+// analyzer over every module package, zero unsuppressed findings.
+func TestSuiteCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	pkgs, err := LoadPackages("", "mlprofile/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages — pattern or loader broken", len(pkgs))
+	}
+	diags, suppressed, err := Run(pkgs, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	// The repo carries justified //mlp:allow annotations (see DESIGN.md
+	// §15); zero suppressions means the allow index stopped seeing them,
+	// which would let unjustified code rot in silently.
+	if suppressed == 0 {
+		t.Error("expected some //mlp:allow suppressions across the repo, saw none — allow indexing broken?")
+	}
+}
+
+// TestMlplintBinary builds the real binary once and proves the two
+// sides of the CI contract: exit 0 (with an empty -json array) on the
+// merged tree, exit 1 when a seeded violation — PR 9's unguarded
+// sparse-row read and an unsorted side-effecting map range — is
+// reintroduced in a scratch module.
+func TestMlplintBinary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs cmd/mlplint")
+	}
+	repoRoot, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(t.TempDir(), "mlplint")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/mlplint")
+	build.Dir = repoRoot
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/mlplint: %v\n%s", err, out)
+	}
+
+	t.Run("clean on repo", func(t *testing.T) {
+		cmd := exec.Command(bin, "-json", "./...")
+		cmd.Dir = repoRoot
+		out, err := cmd.Output()
+		if err != nil {
+			t.Fatalf("mlplint -json ./... should exit 0: %v\n%s", err, out)
+		}
+		if got := strings.TrimSpace(string(out)); got != "[]" {
+			t.Fatalf("expected empty JSON findings array, got:\n%s", got)
+		}
+	})
+
+	t.Run("fails on reintroduced violations", func(t *testing.T) {
+		// A scratch module named mlprofile, so its internal/synth and
+		// internal/core paths land in the deterministic set.
+		dir := t.TempDir()
+		write := func(rel, content string) {
+			t.Helper()
+			path := filepath.Join(dir, rel)
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		write("go.mod", "module mlprofile\n\ngo 1.24\n")
+		write("internal/synth/bad.go", `package synth
+
+import "fmt"
+
+// Validate iterates a map with an early error return — the unsorted
+// side-effecting range the lint job must reject.
+func Validate(fracs map[string]float64) error {
+	for name, v := range fracs {
+		if v < 0 || v > 1 {
+			return fmt.Errorf("%s out of range", name)
+		}
+	}
+	return nil
+}
+`)
+		write("internal/core/bad.go", `package core
+
+import "sync"
+
+type sparseRow struct {
+	epoch uint32 // guarded by spMu
+	pow   []float64 // guarded by spMu
+}
+
+type table struct {
+	spMu  sync.RWMutex
+	rows  map[int32]*sparseRow // guarded by spMu
+}
+
+// PowRow is PR 9's race reintroduced: guarded fields read with no lock.
+func (t *table) PowRow(a int32) []float64 {
+	if r, ok := t.rows[a]; ok && r.epoch == 1 {
+		return r.pow
+	}
+	return nil
+}
+`)
+		cmd := exec.Command(bin, "./...")
+		cmd.Dir = dir
+		out, err := cmd.CombinedOutput()
+		exit, ok := err.(*exec.ExitError)
+		if !ok || exit.ExitCode() != 1 {
+			t.Fatalf("mlplint on seeded violations: want exit 1, got %v\n%s", err, out)
+		}
+		text := string(out)
+		for _, needle := range []string{
+			"maporder", "early return",
+			"lockcheck", "epoch is guarded by spMu", "pow is guarded by spMu",
+		} {
+			if !strings.Contains(text, needle) {
+				t.Errorf("mlplint output missing %q:\n%s", needle, text)
+			}
+		}
+	})
+}

@@ -1,0 +1,114 @@
+// Closecheck fixtures: the PR 5/6 truth.json class. Writable-file
+// Close, json Encode, and bufio Flush errors must be checked;
+// explicit discards need an //mlp:allow justification.
+package fixture
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+)
+
+// --- positives -------------------------------------------------------
+
+func bareClose(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	f.Close() // want "Close of writable file error discarded"
+	return nil
+}
+
+func deferredClose(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want "Close of writable file error discarded by defer"
+	_, err = f.WriteString("hello")
+	return err
+}
+
+func blankClose(path string) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	_ = f.Close() // want "Close of writable file error explicitly discarded"
+	return nil
+}
+
+func tempClose(dir string) error {
+	f, err := os.CreateTemp(dir, "fixture-*")
+	if err != nil {
+		return err
+	}
+	f.Close() // want "Close of writable file error discarded"
+	return nil
+}
+
+func encodeDiscarded(w io.Writer, v any) {
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v) // want "json Encode error explicitly discarded"
+}
+
+func encodeStatement(w io.Writer, v any) {
+	json.NewEncoder(w).Encode(v) // want "json Encode error discarded"
+}
+
+func flushDeferred(w io.Writer) {
+	bw := bufio.NewWriter(w)
+	defer bw.Flush() // want "bufio Flush error discarded by defer"
+	bw.WriteString("hello")
+}
+
+// --- annotation behavior --------------------------------------------
+
+func annotatedDiscard(w io.Writer, v any) {
+	//mlp:allow closecheck best-effort trailer on an already-failed response
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// --- negatives -------------------------------------------------------
+
+func checkedClose(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close() //mlp:allow closecheck error path: the write error is returned
+		return err
+	}
+	return f.Close()
+}
+
+func readOnlyClose(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close() // read-only: no buffered bytes to lose
+	return io.ReadAll(f)
+}
+
+func unknownProvenance(f *os.File) {
+	f.Close() // provenance unknown (parameter): not flagged
+}
+
+func checkedFlush(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("hello"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func checkedEncode(w io.Writer, v any) error {
+	return json.NewEncoder(w).Encode(v)
+}

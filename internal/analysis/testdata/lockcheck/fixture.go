@@ -1,0 +1,75 @@
+// Lockcheck fixtures: the sparsePowRow shape from PR 9's read race,
+// plus the plain counter shape. `// guarded by <mu>` fields may only
+// be touched by functions that lock a mutex of that name, are named
+// *Locked, or carry //mlp:allow lockcheck.
+package fixture
+
+import "sync"
+
+type row struct {
+	epoch uint32    // guarded by spMu
+	pow   []float64 // guarded by spMu
+}
+
+type table struct {
+	spMu  sync.RWMutex
+	rows  map[int32]*row // guarded by spMu
+	cap   int
+	alpha float64
+}
+
+// good reads the guarded fields under the RLock — the post-PR 9 shape.
+func (t *table) good(a int32) []float64 {
+	t.spMu.RLock()
+	defer t.spMu.RUnlock()
+	if r, ok := t.rows[a]; ok && r.epoch == 1 {
+		return r.pow
+	}
+	return nil
+}
+
+// bad is PR 9's bug reintroduced: epoch and pow read with no lock
+// anywhere in the function.
+func (t *table) bad(a int32) []float64 {
+	if r, ok := t.rows[a]; ok && r.epoch == 1 { // want "rows is guarded by spMu, but bad never locks it" "epoch is guarded by spMu, but bad never locks it"
+		return r.pow // want "pow is guarded by spMu, but bad never locks it"
+	}
+	return nil
+}
+
+// refreshLocked asserts the caller holds spMu via the naming idiom.
+func (t *table) refreshLocked(a int32, pow []float64) {
+	if r, ok := t.rows[a]; ok {
+		r.epoch, r.pow = 1, pow
+	}
+}
+
+// newTable publishes nothing before returning: the annotated escape
+// hatch for constructors.
+func newTable() *table {
+	t := &table{cap: 16}
+	//mlp:allow lockcheck construction: t has not escaped yet
+	t.rows = map[int32]*row{}
+	return t
+}
+
+// unguarded fields stay free.
+func (t *table) tune(c int) {
+	t.cap = c
+	t.alpha = -0.55
+}
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (c *counter) inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func (c *counter) read() int {
+	return c.n // want "n is guarded by mu, but read never locks it"
+}

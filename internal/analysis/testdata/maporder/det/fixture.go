@@ -1,0 +1,153 @@
+// Maporder fixtures, type-checked as a deterministic package
+// (mlprofile/internal/synth) by the test harness. The `want` comments
+// are matched by internal/analysis.RunFixture.
+package fixture
+
+import (
+	"fmt"
+	"sort"
+
+	"mlprofile/internal/randutil"
+)
+
+// --- positives -------------------------------------------------------
+
+func earlyReturn(m map[string]float64) error {
+	for name, v := range m { // want "early return"
+		if v < 0 {
+			return fmt.Errorf("%s out of range", name)
+		}
+	}
+	return nil
+}
+
+func appendOuter(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "append to outer slice out"
+		out = append(out, k)
+	}
+	return out
+}
+
+func assignOuter(m map[string]int) string {
+	var last string
+	for k := range m { // want "assignment to outer variable last"
+		last = k
+	}
+	return last
+}
+
+type sink struct{ data map[int]int }
+
+func (s *sink) sharedWrite(m map[int]int) {
+	for k, v := range m { // want "write to shared state"
+		s.data[k] = v
+	}
+}
+
+func rngDraw(m map[int]int, rng *randutil.SplitMix64) uint64 {
+	var x uint64
+	for range m { // want "RNG draw via"
+		x ^= rng.Uint64()
+	}
+	return x
+}
+
+func breakFirst(m map[string]int) int {
+	n := 0
+	for k := range m { // want "break makes the set of visited keys order-dependent"
+		if len(k) > 3 {
+			break
+		}
+		n += len(k)
+	}
+	return n
+}
+
+func sendKeys(m map[string]int, ch chan string) {
+	for k := range m { // want "channel send"
+		ch <- k
+	}
+}
+
+func deleteOther(m, other map[string]int) {
+	for k := range m { // want "delete from shared map other"
+		delete(other, k)
+	}
+}
+
+func rangeAssignsOuter(m map[string]int) (string, int) {
+	var k string
+	var v int
+	for k, v = range m { // want "assigns pre-declared iteration variables"
+		_ = k
+	}
+	return k, v
+}
+
+// --- annotation behavior --------------------------------------------
+
+func sortedKeys(m map[string]int) []string {
+	var keys []string
+	//mlp:allow maporder keys are sorted immediately below
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func unjustifiedAllow(m map[string]int) []string {
+	var keys []string
+	//mlp:allow maporder
+	for k := range m { // want "needs a justification"
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// --- negatives -------------------------------------------------------
+
+func commutativeSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // compound accumulation is exempt by design
+		sum += v
+	}
+	return sum
+}
+
+func deleteSelf(m map[string]int) {
+	for k := range m { // deleting from the ranged map itself is order-safe
+		if len(k) == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+func localOnly(m map[string]int) int {
+	n := 0
+	for k, v := range m {
+		tmp := map[string]int{}
+		tmp[k] = v // write to a loop-local map
+		n += len(tmp)
+	}
+	return n
+}
+
+func funcLitReturn(m map[string]int) int {
+	n := 0
+	for k := range m {
+		f := func() int { return len(k) } // return exits the literal, not the loop
+		n += f()
+	}
+	return n
+}
+
+func sliceRange(xs []int) []int {
+	var out []int
+	for _, x := range xs { // not a map: appends are fine
+		out = append(out, x*2)
+	}
+	return out
+}

@@ -1,0 +1,23 @@
+// The same side-effecting shapes as the det fixtures, but the test
+// harness type-checks this directory as a package outside the
+// deterministic set — maporder must stay silent.
+package fixture
+
+import "fmt"
+
+func earlyReturn(m map[string]float64) error {
+	for name, v := range m {
+		if v < 0 {
+			return fmt.Errorf("%s out of range", name)
+		}
+	}
+	return nil
+}
+
+func appendOuter(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

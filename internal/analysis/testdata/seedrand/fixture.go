@@ -1,0 +1,49 @@
+// Seedrand fixtures. The analyzer runs over every package, so the
+// harness loads this directory under an arbitrary non-deterministic
+// import path.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// --- positives -------------------------------------------------------
+
+func globalDraw() int {
+	return rand.Intn(10) // want "process-global math/rand"
+}
+
+func globalFloat() float64 {
+	return rand.Float64() // want "process-global math/rand"
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "process-global math/rand"
+}
+
+func reseedGlobal(seed int64) {
+	rand.Seed(seed) // want "process-global math/rand"
+}
+
+func timeSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "seeded from the wall clock"
+}
+
+func timeSeededSource() rand.Source {
+	return rand.NewSource(int64(time.Since(time.Unix(0, 0)))) // want "seeded from the wall clock"
+}
+
+// --- negatives -------------------------------------------------------
+
+func seededLocal(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // explicit seed: the sanctioned pattern
+}
+
+func localDraws(rng *rand.Rand) int {
+	return rng.Intn(10) + int(rng.Uint64()%3) // methods draw from a local source
+}
+
+func zipf(rng *rand.Rand) *rand.Zipf {
+	return rand.NewZipf(rng, 1.1, 1, 100) // local ctor, no global state
+}

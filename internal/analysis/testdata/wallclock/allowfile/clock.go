@@ -1,0 +1,12 @@
+// This file is loaded twice by the tests: once normally (the
+// time.Since finding fires) and once after AllowWallclockFiles
+// registered its path suffix, proving the configurable allowlist
+// silences a whole timing file. No want comments — the test drives
+// the pass directly and counts diagnostics.
+package fixture
+
+import "time"
+
+func phaseAccrual(acc map[string]float64, name string, start time.Time) {
+	acc[name] += time.Since(start).Seconds()
+}

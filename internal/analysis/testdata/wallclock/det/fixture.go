@@ -1,0 +1,45 @@
+// Wallclock fixtures, type-checked as a deterministic package by the
+// test harness.
+package fixture
+
+import "time"
+
+func stamp() time.Time {
+	return time.Now() // want "time.Now in deterministic package"
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since in deterministic package"
+}
+
+func deadlineIn(t time.Time) time.Duration {
+	return time.Until(t) // want "time.Until in deterministic package"
+}
+
+type timed struct {
+	now func() time.Time // the injectable-clock pattern
+}
+
+func defaulted() *timed {
+	return &timed{now: time.Now} // want "time.Now in deterministic package"
+}
+
+// annotated is the sanctioned escape hatch for a timing-only site.
+func annotated() time.Time {
+	//mlp:allow wallclock timing-only debug helper, never feeds the chain
+	return time.Now()
+}
+
+// --- negatives -------------------------------------------------------
+
+func injected(c *timed) time.Time {
+	return c.now() // calling the injected clock is the approved pattern
+}
+
+func fixedEpoch() time.Time {
+	return time.Unix(0, 0) // a constant instant reads no clock
+}
+
+func explicitDate() time.Time {
+	return time.Date(2012, time.August, 27, 0, 0, 0, 0, time.UTC)
+}

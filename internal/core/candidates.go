@@ -112,6 +112,7 @@ func buildCandidates(c *dataset.Corpus, cfg Config, useF, useT bool) *candidateS
 			w float64
 		}
 		list := make([]cw, 0, len(ev))
+		//mlp:allow maporder order-independent: list is fully sorted with a deterministic tie-break below
 		for l, w := range ev {
 			list = append(list, cw{l, w})
 		}
@@ -198,6 +199,7 @@ func topLabeledHomes(c *dataset.Corpus, k int) []gazetteer.CityID {
 		n int
 	}
 	list := make([]lc, 0, len(counts))
+	//mlp:allow maporder order-independent: list is fully sorted with a deterministic tie-break below
 	for l, n := range counts {
 		list = append(list, lc{l, n})
 	}

@@ -260,16 +260,19 @@ type distTable struct {
 	// sweep workers (setAlpha itself only runs between sweeps).
 	sparse  bool
 	spMu    sync.RWMutex
-	spRows  map[int32]*sparsePowRow
-	spOrder []int32
+	spRows  map[int32]*sparsePowRow // guarded by spMu
+	spOrder []int32                 // guarded by spMu
 	spCap   int
 }
 
 // sparsePowRow is one lazily built pow row of the sparse level, stamped
-// with the α-epoch it was exponentiated under.
+// with the α-epoch it was exponentiated under. Both fields are
+// reassigned in place by stale-row refreshes, so reads belong under
+// spMu too — PR 9 shipped exactly that race (epoch/pow read outside
+// the RLock), which is what the lockcheck annotations pin.
 type sparsePowRow struct {
-	epoch uint32
-	pow   []float64
+	epoch uint32    // guarded by spMu
+	pow   []float64 // guarded by spMu
 }
 
 // powRow returns city a's full pow row in sparse mode, building it (or
@@ -336,6 +339,7 @@ func distTableFor(dc *distCalc, g *gazetteer.Gazetteer, sparse bool) *distTable 
 	t := &distTable{dc: dc, L: L, pb: pairBinsFor(dc, g, L)}
 	if L > maxDensePairCities && sparse {
 		t.sparse = true
+		//mlp:allow lockcheck construction: t has not escaped to any worker yet
 		t.spRows = make(map[int32]*sparsePowRow)
 		t.spCap = max(16, sparsePowBudgetBytes/(L*8))
 	}

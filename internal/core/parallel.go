@@ -382,6 +382,7 @@ func (m *Model) foldVenueDeltasFrom(ctxs []*sweepCtx) {
 		if ctx.vdelta == nil {
 			continue
 		}
+		//mlp:allow maporder order-independent: one commutative count apply per distinct (city,venue) key
 		for key, d := range ctx.vdelta {
 			if d == 0 {
 				continue
@@ -398,6 +399,7 @@ func (m *Model) foldVenueDeltasFrom(ctxs []*sweepCtx) {
 				m.venueCount[l][v] = nv
 			}
 		}
+		//mlp:allow maporder order-independent: one commutative sum apply per distinct city key
 		for l, d := range ctx.vsum {
 			if d != 0 {
 				m.venueSum[l] += d

@@ -44,6 +44,7 @@ func (m *Model) phase(name string, f func()) {
 // or after Fit.
 func (m *Model) PhaseSeconds() map[string]float64 {
 	out := make(map[string]float64, len(m.phaseSec))
+	//mlp:allow maporder order-independent: plain map copy, one write per distinct key
 	for k, v := range m.phaseSec {
 		out[k] = v
 	}

@@ -416,7 +416,9 @@ func (m *Model) EncodeSnapshot(wr io.Writer) error {
 		cnt float64
 	}
 	var triples []triple
+	//mlp:allow maporder order-independent: triples are fully sorted below before encoding
 	for l, counts := range m.venueCountsByCity() {
+		//mlp:allow maporder order-independent: triples are fully sorted below before encoding
 		for v, cnt := range counts {
 			triples = append(triples, triple{int32(v), int32(l), cnt})
 		}
@@ -454,7 +456,7 @@ func (m *Model) SaveSnapshot(path string) error {
 	}
 	tmp := f.Name()
 	fail := func(err error) error {
-		f.Close()
+		f.Close() //mlp:allow closecheck error path: the original write error is returned and the temp file removed
 		os.Remove(tmp)
 		return err
 	}

@@ -153,6 +153,7 @@ func (m *Model) encodeShardSnapshot(s, shards int, users, edges, tweets []int32)
 		}
 	}
 	triples := make([]triple, 0, len(acc))
+	//mlp:allow maporder order-independent: triples are fully sorted below before encoding
 	for key, cnt := range acc {
 		triples = append(triples, triple{key[0], key[1], cnt})
 	}
@@ -184,7 +185,7 @@ func writeSnapshotFileAtomic(path string, data []byte) error {
 	}
 	tmp := f.Name()
 	fail := func(err error) error {
-		f.Close()
+		f.Close() //mlp:allow closecheck error path: the original write error is returned and the temp file removed
 		os.Remove(tmp)
 		return err
 	}

@@ -88,7 +88,7 @@ func (d *Dataset) Save(dir string) error {
 			return err
 		}
 		if err := json.NewEncoder(f).Encode(d.Truth); err != nil {
-			f.Close()
+			f.Close() //mlp:allow closecheck error path: the Encode error is returned; a close error on the doomed file adds nothing
 			return fmt.Errorf("dataset: encoding truth: %w", err)
 		}
 		if err := f.Close(); err != nil {
@@ -183,11 +183,11 @@ func writeLines(path string, fill func(*bufio.Writer) error) error {
 	}
 	w := bufio.NewWriter(f)
 	if err := fill(w); err != nil {
-		f.Close()
+		f.Close() //mlp:allow closecheck error path: the fill error is returned; a close error on the doomed file adds nothing
 		return err
 	}
 	if err := w.Flush(); err != nil {
-		f.Close()
+		f.Close() //mlp:allow closecheck error path: the Flush error is returned; a close error on the doomed file adds nothing
 		return err
 	}
 	return f.Close()

@@ -130,7 +130,7 @@ func copyFile(src, dst string) error {
 		return err
 	}
 	if _, err := io.Copy(out, in); err != nil {
-		out.Close()
+		out.Close() //mlp:allow closecheck error path: the Copy error is returned; a close error on the doomed copy adds nothing
 		return err
 	}
 	return out.Close()

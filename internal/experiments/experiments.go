@@ -125,6 +125,7 @@ func (r *Runner) Fig3b() (*Table, error) {
 			n float64
 		}
 		var list []vc
+		//mlp:allow maporder order-independent: list is fully sorted with a deterministic tie-break below
 		for v, n := range counts {
 			list = append(list, vc{v, n})
 		}
@@ -326,10 +327,19 @@ func (r *Runner) Table5() (*Table, error) {
 			inEdges[e.To] = append(inEdges[e.To], s)
 		}
 	}
+	// Argmax over sorted keys: the strict > tie-break used to pick
+	// whichever equally-followed user map order served first, making the
+	// rendered table nondeterministic (found by mlplint maporder).
+	cands := make([]dataset.UserID, 0, len(inEdges))
+	//mlp:allow maporder keys are sorted immediately below before use
+	for u := range inEdges {
+		cands = append(cands, u)
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
 	var best dataset.UserID = -1
 	bestN := 0
-	for u, ss := range inEdges {
-		if len(r.data.Truth.Profiles[u]) > 1 && len(ss) > bestN {
+	for _, u := range cands {
+		if ss := inEdges[u]; len(r.data.Truth.Profiles[u]) > 1 && len(ss) > bestN {
 			best, bestN = u, len(ss)
 		}
 	}

@@ -246,12 +246,19 @@ func (r *Runner) runFold(f int, test []dataset.UserID) (*foldResult, error) {
 	}
 	bcp := bc.NewPredictor()
 
+	// Fit order is a fixed slice, not a map: it decides which variant's
+	// error surfaces first and the order of progress output, so it must
+	// not follow map iteration order (mlplint maporder).
 	mlps := map[string]*core.Model{}
-	for name, variant := range map[string]core.Variant{
-		MethodMLPU: core.FollowingOnly,
-		MethodMLPC: core.TweetingOnly,
-		MethodMLP:  core.Full,
+	for _, mv := range []struct {
+		name    string
+		variant core.Variant
+	}{
+		{MethodMLPU, core.FollowingOnly},
+		{MethodMLPC, core.TweetingOnly},
+		{MethodMLP, core.Full},
 	} {
+		name, variant := mv.name, mv.variant
 		cfg := core.Config{
 			Seed:          r.opts.Seed + 1000 + int64(f),
 			Iterations:    r.opts.Iterations,
@@ -432,6 +439,7 @@ func (r *Runner) pickCaseStudyUsers(n int) []dataset.UserID {
 		deg int
 	}
 	var list []cand
+	//mlp:allow maporder order-independent: list is fully sorted with a deterministic tie-break below
 	for u := range r.fold0Test {
 		if len(r.data.Truth.Profiles[u]) > 1 {
 			list = append(list, cand{u, len(adj.Neighbors(u))})

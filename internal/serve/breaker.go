@@ -40,11 +40,11 @@ type breaker struct {
 	name      string
 
 	mu       sync.Mutex
-	state    breakerState
-	fails    int // consecutive transport failures while closed
-	openedAt time.Time
-	trial    bool  // a half-open trial call is in flight
-	opens    int64 // lifetime closed/half-open → open transitions
+	state    breakerState // guarded by mu
+	fails    int          // guarded by mu; consecutive transport failures while closed
+	openedAt time.Time    // guarded by mu
+	trial    bool         // guarded by mu; a half-open trial call is in flight
+	opens    int64        // guarded by mu; lifetime closed/half-open → open transitions
 }
 
 func newBreaker(threshold int, cooldown time.Duration, name string, logf func(string, ...any)) *breaker {
@@ -99,7 +99,7 @@ func (b *breaker) record(ok bool) {
 		}
 		b.fails++
 		if b.fails >= b.threshold {
-			b.open("threshold")
+			b.openLocked("threshold")
 		}
 	case breakerHalfOpen:
 		b.trial = false
@@ -108,7 +108,7 @@ func (b *breaker) record(ok bool) {
 			b.fails = 0
 			b.logf("serve: breaker %s: half-open -> closed (trial succeeded)", b.name)
 		} else {
-			b.open("trial failed")
+			b.openLocked("trial failed")
 		}
 	case breakerOpen:
 		// A straggler attempt that was allowed before the breaker
@@ -116,8 +116,9 @@ func (b *breaker) record(ok bool) {
 	}
 }
 
-// open transitions to open; caller holds b.mu.
-func (b *breaker) open(why string) {
+// openLocked transitions to open; caller holds b.mu (the suffix is the
+// lockcheck analyzer's held-by-caller idiom).
+func (b *breaker) openLocked(why string) {
 	b.state = breakerOpen
 	b.openedAt = b.now()
 	b.fails = 0

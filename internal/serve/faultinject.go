@@ -124,6 +124,7 @@ func (f *FaultInjector) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set(backendErrHeader, "injected")
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(failStatus)
+		//mlp:allow closecheck best-effort injected-fault body; the status line is already committed
 		_ = json.NewEncoder(w).Encode(errorJSON{Error: fmt.Sprintf("injected fault: status %d", failStatus)})
 		return
 	case malformed:

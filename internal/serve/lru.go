@@ -30,8 +30,8 @@ type lruEntry struct {
 type lruCache struct {
 	mu         sync.Mutex
 	max        int
-	entries    map[cacheKey]*lruEntry
-	head, tail *lruEntry // head = most recent
+	entries    map[cacheKey]*lruEntry // guarded by mu
+	head, tail *lruEntry              // guarded by mu; head = most recent
 }
 
 // newLRUCache returns a cache bounded to max entries; max < 1 returns
@@ -43,7 +43,7 @@ func newLRUCache(max int) *lruCache {
 	return &lruCache{max: max, entries: make(map[cacheKey]*lruEntry, max)}
 }
 
-func (c *lruCache) unlink(e *lruEntry) {
+func (c *lruCache) unlinkLocked(e *lruEntry) {
 	if e.prev != nil {
 		e.prev.next = e.next
 	} else {
@@ -57,7 +57,7 @@ func (c *lruCache) unlink(e *lruEntry) {
 	e.prev, e.next = nil, nil
 }
 
-func (c *lruCache) pushFront(e *lruEntry) {
+func (c *lruCache) pushFrontLocked(e *lruEntry) {
 	e.next = c.head
 	if c.head != nil {
 		c.head.prev = e
@@ -77,8 +77,8 @@ func (c *lruCache) get(k cacheKey) ([]byte, bool) {
 		return nil, false
 	}
 	if c.head != e {
-		c.unlink(e)
-		c.pushFront(e)
+		c.unlinkLocked(e)
+		c.pushFrontLocked(e)
 	}
 	return e.body, true
 }
@@ -90,17 +90,17 @@ func (c *lruCache) put(k cacheKey, body []byte) {
 	if e, ok := c.entries[k]; ok {
 		e.body = body
 		if c.head != e {
-			c.unlink(e)
-			c.pushFront(e)
+			c.unlinkLocked(e)
+			c.pushFrontLocked(e)
 		}
 		return
 	}
 	e := &lruEntry{key: k, body: body}
 	c.entries[k] = e
-	c.pushFront(e)
+	c.pushFrontLocked(e)
 	for len(c.entries) > c.max {
 		cold := c.tail
-		c.unlink(cold)
+		c.unlinkLocked(cold)
 		delete(c.entries, cold.key)
 	}
 }

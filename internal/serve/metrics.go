@@ -237,6 +237,7 @@ func instrument(m *metrics, logf func(format string, args ...any), next http.Han
 				if sw.status == 0 {
 					sw.Header().Set("Content-Type", "application/json")
 					sw.WriteHeader(http.StatusInternalServerError)
+					//mlp:allow closecheck best-effort panic-response body; the panic is already logged and counted
 					_ = json.NewEncoder(sw).Encode(errorJSON{Error: fmt.Sprintf("internal error: %v", p)})
 				}
 			}

@@ -81,6 +81,7 @@ func ProxyBackendsWith(rawURLs []string, pcfg ProxyConfig) ([]http.Handler, erro
 			w.Header().Set(backendErrHeader, "proxy")
 			w.Header().Set("Content-Type", "application/json")
 			w.WriteHeader(http.StatusBadGateway)
+			//mlp:allow closecheck best-effort 502 body; the proxy error is already logged
 			_ = json.NewEncoder(w).Encode(errorJSON{
 				Error: fmt.Sprintf("backend %s: %v", host, err),
 			})
